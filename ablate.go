@@ -1,0 +1,135 @@
+package dlpsim
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Ablations quantify the design choices §4 fixes by fiat: the 200-access
+// sampling period (§4.1.4), the 4-bit PD/PL field width (§4.3), and the
+// VTA associativity (footnote 2: equal to the cache's). Each ablation
+// sweeps one parameter and reports DLP's IPC speedup over the unmodified
+// baseline cache on a set of cache-insufficient applications.
+
+// AblationPoint is one parameter setting's outcome.
+type AblationPoint struct {
+	Value    int                // the swept parameter's value
+	Speedups map[string]float64 // app -> DLP IPC / baseline IPC
+	GeoMean  float64
+}
+
+// Ablation is one parameter sweep.
+type Ablation struct {
+	Name   string
+	Apps   []string
+	Points []AblationPoint
+}
+
+// DefaultAblationApps are the CI applications used for sweeps: the two
+// protection showcases, one 32KB-favoring app, and one long-RD app.
+func DefaultAblationApps() []string { return []string{"CFD", "PVR", "SRK", "KM"} }
+
+// runAblation sweeps mutate over values for the given apps.
+func runAblation(name string, apps []string, values []int,
+	mutate func(cfg *config.Config, v int), progress func(string)) (*Ablation, error) {
+	ab := &Ablation{Name: name, Apps: apps}
+
+	// Baselines are measured once with the untouched configuration: the
+	// swept parameters only exist inside the DLP hardware, so the
+	// baseline cache is unaffected by them.
+	base := make(map[string]float64, len(apps))
+	for _, app := range apps {
+		spec, err := workloads.ByAbbr(app)
+		if err != nil {
+			return nil, err
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("%s: baseline %s", name, app))
+		}
+		st, err := sim.RunOnce(config.Baseline(), config.PolicyBaseline, spec.Generate(), sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		base[app] = st.IPC()
+	}
+
+	for _, v := range values {
+		pt := AblationPoint{Value: v, Speedups: make(map[string]float64, len(apps))}
+		var ratios []float64
+		for _, app := range apps {
+			spec, err := workloads.ByAbbr(app)
+			if err != nil {
+				return nil, err
+			}
+			cfg := config.Baseline()
+			mutate(cfg, v)
+			if err := cfg.Validate(); err != nil {
+				return nil, err
+			}
+			if progress != nil {
+				progress(fmt.Sprintf("%s=%d: %s", name, v, app))
+			}
+			st, err := sim.RunOnce(cfg, config.PolicyDLP, spec.Generate(), sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			sp := st.IPC() / base[app]
+			pt.Speedups[app] = sp
+			ratios = append(ratios, sp)
+		}
+		pt.GeoMean = stats.GeoMean(ratios)
+		ab.Points = append(ab.Points, pt)
+	}
+	return ab, nil
+}
+
+// AblateSamplePeriod sweeps the sampling period (§4.1.4; paper: 200
+// cache accesses).
+func AblateSamplePeriod(apps []string, progress func(string)) (*Ablation, error) {
+	return runAblation("sample-period", apps, []int{50, 100, 200, 400, 800},
+		func(cfg *config.Config, v int) { cfg.SampleAccesses = v }, progress)
+}
+
+// AblatePDBits sweeps the protection-distance field width (§4.3; paper:
+// 4 bits, i.e. a maximum protected life of 15 set queries).
+func AblatePDBits(apps []string, progress func(string)) (*Ablation, error) {
+	return runAblation("pd-bits", apps, []int{2, 3, 4, 5, 6},
+		func(cfg *config.Config, v int) { cfg.PDBits = v }, progress)
+}
+
+// AblateVTAWays sweeps the victim-tag-array associativity (footnote 2;
+// paper: equal to the cache's 4 ways). Nasc scales with it, so this
+// changes both the observation window and the PD increments.
+func AblateVTAWays(apps []string, progress func(string)) (*Ablation, error) {
+	return runAblation("vta-ways", apps, []int{2, 4, 8, 16},
+		func(cfg *config.Config, v int) { cfg.VTAWays = v }, progress)
+}
+
+// AblateWarpLimit sweeps a static CCWS-style active-warp throttle on top
+// of DLP — the combination the paper's related work points at (Chen et
+// al. [6] integrate PDP with CCWS). Zero means unthrottled.
+func AblateWarpLimit(apps []string, progress func(string)) (*Ablation, error) {
+	return runAblation("warp-limit", apps, []int{0, 8, 16, 24, 32},
+		func(cfg *config.Config, v int) { cfg.MaxActiveWarps = v }, progress)
+}
+
+// Render formats the ablation as an aligned table.
+func (a *Ablation) Render() string {
+	out := fmt.Sprintf("== ablation: %s ==\n%-8s", a.Name, "value")
+	for _, app := range a.Apps {
+		out += fmt.Sprintf("%8s", app)
+	}
+	out += fmt.Sprintf("%10s\n", "geomean")
+	for _, pt := range a.Points {
+		out += fmt.Sprintf("%-8d", pt.Value)
+		for _, app := range a.Apps {
+			out += fmt.Sprintf("%8.3f", pt.Speedups[app])
+		}
+		out += fmt.Sprintf("%10.3f\n", pt.GeoMean)
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package dlpsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationPDBits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep skipped in -short mode")
+	}
+	ab, err := AblatePDBits([]string{"CFD"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Points) != 5 {
+		t.Fatalf("swept %d points", len(ab.Points))
+	}
+	// The paper's 4-bit choice must clearly beat a 2-bit field on the
+	// protection showcase app.
+	by := map[int]float64{}
+	for _, pt := range ab.Points {
+		by[pt.Value] = pt.GeoMean
+	}
+	if by[4] <= by[2] {
+		t.Errorf("4-bit PD (%.3f) not better than 2-bit (%.3f)", by[4], by[2])
+	}
+	if by[4] < 1.05 {
+		t.Errorf("4-bit PD speedup %.3f, want a clear gain on CFD", by[4])
+	}
+	out := ab.Render()
+	for _, want := range []string{"pd-bits", "CFD", "geomean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationRejectsUnknownApp(t *testing.T) {
+	if _, err := AblatePDBits([]string{"NOPE"}, nil); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestDefaultAblationApps(t *testing.T) {
+	for _, a := range DefaultAblationApps() {
+		if _, err := WorkloadByAbbr(a); err != nil {
+			t.Errorf("default ablation app %s unknown: %v", a, err)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package dlpsim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/mem"
+)
+
+// Each evaluation table/figure has a benchmark that regenerates it. The
+// heavy simulation suites (Figs. 5 and 10–13) are computed once per
+// process and cached; the per-iteration cost the benchmark reports is
+// the table construction over those results, while the first iteration
+// pays for the simulations themselves. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Micro-benchmarks for the core mechanisms (cache access path, PDPT
+// sampling, RDD profiling) follow at the bottom.
+
+var (
+	benchPaperOnce sync.Once
+	benchPaper     *SuiteResult
+	benchAssocOnce sync.Once
+	benchAssoc     *SuiteResult
+)
+
+func benchPaperSuite(b *testing.B) *SuiteResult {
+	b.Helper()
+	benchPaperOnce.Do(func() {
+		var err error
+		benchPaper, err = RunSuite(PaperSchemes(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	return benchPaper
+}
+
+func benchAssocSuite(b *testing.B) *SuiteResult {
+	b.Helper()
+	benchAssocOnce.Do(func() {
+		var err error
+		benchAssoc, err = RunSuite(AssocSchemes(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	return benchAssoc
+}
+
+// BenchmarkTable2Workloads regenerates every Table 2 application trace.
+func BenchmarkTable2Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, w := range Workloads() {
+			k := w.Generate()
+			if len(k.Blocks) == 0 {
+				b.Fatal("empty kernel")
+			}
+		}
+	}
+}
+
+// BenchmarkFig3RDD regenerates the program-level reuse-distance
+// distributions of all 18 applications.
+func BenchmarkFig3RDD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if d := Fig3RDD(); len(d.Rows) != 18 {
+			b.Fatal("bad Fig3")
+		}
+	}
+}
+
+// BenchmarkFig4MissRate regenerates the 16/32/64KB reuse-miss-rate study.
+func BenchmarkFig4MissRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig4MissRates(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Associativity regenerates the IPC-vs-cache-size figure.
+func BenchmarkFig5Associativity(b *testing.B) {
+	suite := benchAssocSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := suite.Fig5IPC(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6AccessRatio regenerates the sorted memory-access-ratio
+// classification.
+func BenchmarkFig6AccessRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Fig6Ratios(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7PerPC regenerates BFS's per-instruction RDD.
+func BenchmarkFig7PerPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if d := Fig7BFS(); len(d.Rows) == 0 {
+			b.Fatal("bad Fig7")
+		}
+	}
+}
+
+// BenchmarkFig10IPC regenerates the headline IPC comparison.
+func BenchmarkFig10IPC(b *testing.B) {
+	suite := benchPaperSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := suite.Fig10IPC(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11Traffic regenerates the L1D traffic and eviction tables.
+func BenchmarkFig11Traffic(b *testing.B) {
+	suite := benchPaperSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := suite.Fig11aTraffic(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := suite.Fig11bEvictions(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12Hits regenerates the hit-rate and hit-count tables.
+func BenchmarkFig12Hits(b *testing.B) {
+	suite := benchPaperSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := suite.Fig12aHitRate(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := suite.Fig12bHits(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig13ICNT regenerates the interconnect-traffic table.
+func BenchmarkFig13ICNT(b *testing.B) {
+	suite := benchPaperSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := suite.Fig13ICNT(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOverheadModel evaluates the §4.3 cost model.
+func BenchmarkOverheadModel(b *testing.B) {
+	cfg := BaselineConfig()
+	for i := 0; i < b.N; i++ {
+		if o := HardwareOverhead(cfg); o.TotalBytes != 1264 {
+			b.Fatal("wrong overhead")
+		}
+	}
+}
+
+// BenchmarkRunCFD measures one full simulation of the CFD application
+// under each policy — the per-run cost behind the figure suites.
+func BenchmarkRunCFD(b *testing.B) {
+	for _, p := range Policies() {
+		b.Run(p.String(), func(b *testing.B) {
+			w, _ := WorkloadByAbbr("CFD")
+			k := w.Generate()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(BaselineConfig(), p, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkL1DAccess measures the raw L1D access path (hit case) under
+// the baseline and DLP policies.
+func BenchmarkL1DAccess(b *testing.B) {
+	for _, p := range []Policy{Baseline, DLP} {
+		b.Run(p.String(), func(b *testing.B) {
+			cfg := config.Baseline()
+			delivered := 0
+			c := core.NewL1D(cfg, p, func(*mem.Request) { delivered++ })
+			// Warm one line.
+			req := &mem.Request{ID: 1, Addr: 0x1000, InsnID: addr.HashPC(3)}
+			c.Access(req)
+			for {
+				r := c.PopOutgoing()
+				if r == nil {
+					break
+				}
+				c.OnResponse(r)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Tick(uint64(i))
+				r := &mem.Request{ID: uint64(i + 2), Addr: 0x1000, InsnID: addr.HashPC(3)}
+				if out := c.Access(r); out != mem.OutcomeHit {
+					b.Fatalf("unexpected outcome %v", out)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPDPTSample measures the Fig. 9 PD-computation cycle.
+func BenchmarkPDPTSample(b *testing.B) {
+	p := core.NewPDPT(128, 4, 15)
+	for i := 0; i < b.N; i++ {
+		p.CreditVTA(uint8(i % 128))
+		p.CreditTDA(uint8((i + 7) % 128))
+		if i%200 == 0 {
+			p.EndSample()
+		}
+	}
+}
+
+// BenchmarkWorkloadGen measures trace generation for the heaviest app.
+func BenchmarkWorkloadGen(b *testing.B) {
+	w, _ := WorkloadByAbbr("HG")
+	for i := 0; i < b.N; i++ {
+		if k := w.Generate(); len(k.Blocks) != 16 {
+			b.Fatal("bad kernel")
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command ablate sweeps the DLP design parameters the paper fixes by
+// fiat — the sampling period (200 accesses, §4.1.4), the PD field width
+// (4 bits, §4.3), and the VTA associativity (= cache ways, footnote 2) —
+// and reports DLP's IPC speedup over the baseline cache at each setting.
+//
+// Usage:
+//
+//	ablate                      # all three sweeps on the default apps
+//	ablate -sweep pd-bits       # one sweep
+//	ablate -apps CFD,KM         # choose applications
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	dlpsim "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ablate: ")
+	sweep := flag.String("sweep", "all", "sample-period | pd-bits | vta-ways | warp-limit | all")
+	appsFlag := flag.String("apps", strings.Join(dlpsim.DefaultAblationApps(), ","),
+		"comma-separated application abbreviations")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	var apps []string
+	for _, a := range strings.Split(*appsFlag, ",") {
+		apps = append(apps, strings.ToUpper(strings.TrimSpace(a)))
+	}
+	progress := func(msg string) {
+		if !*quiet {
+			fmt.Fprintln(os.Stderr, "running", msg)
+		}
+	}
+
+	sweeps := map[string]func([]string, func(string)) (*dlpsim.Ablation, error){
+		"sample-period": dlpsim.AblateSamplePeriod,
+		"pd-bits":       dlpsim.AblatePDBits,
+		"vta-ways":      dlpsim.AblateVTAWays,
+		"warp-limit":    dlpsim.AblateWarpLimit,
+	}
+	order := []string{"sample-period", "pd-bits", "vta-ways", "warp-limit"}
+	ran := false
+	for _, name := range order {
+		if *sweep != "all" && *sweep != name {
+			continue
+		}
+		ab, err := sweeps[name](apps, progress)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(ab.Render())
+		ran = true
+	}
+	if !ran {
+		log.Fatalf("unknown sweep %q", *sweep)
+	}
+}

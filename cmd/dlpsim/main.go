@@ -1,0 +1,133 @@
+// Command dlpsim runs one benchmark application on the simulated GPU
+// under one L1D management policy and prints the resulting counters.
+//
+// Usage:
+//
+//	dlpsim -app CFD -policy dlp
+//	dlpsim -app BFS -policy baseline -size 32
+//	dlpsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dlpsim: ")
+	app := flag.String("app", "CFD", "application abbreviation (see -list)")
+	policy := flag.String("policy", "dlp", "baseline | stall-bypass | global-protection | dlp")
+	sizeKB := flag.Int("size", 16, "L1D capacity in KB (16, 32 or 64)")
+	list := flag.Bool("list", false, "list available applications")
+	asJSON := flag.Bool("json", false, "emit the result as JSON")
+	dump := flag.String("dump", "", "write the generated kernel trace to this file and exit")
+	traceFile := flag.String("trace", "", "run a kernel from this trace file instead of -app")
+	flag.Parse()
+
+	if *list {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "abbr\tclass\tsuite\tname\tinput")
+		for _, s := range workloads.All() {
+			fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\n", s.Abbr, s.Class, s.Suite, s.Name, s.Input)
+		}
+		w.Flush()
+		return
+	}
+
+	cfg, err := config.ByL1DSize(*sizeKB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var kernel *trace.Kernel
+	name, class := "", ""
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kernel, err = trace.ReadKernel(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		name, class = kernel.Name, "custom"
+	} else {
+		spec, err := workloads.ByAbbr(strings.ToUpper(*app))
+		if err != nil {
+			log.Fatal(err)
+		}
+		kernel = spec.Generate()
+		name, class = spec.Name, spec.Class.String()
+	}
+
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := kernel.WriteTo(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s trace to %s\n", kernel.Name, *dump)
+		return
+	}
+
+	st, err := sim.RunOnce(cfg, pol, kernel, sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *asJSON {
+		out := struct {
+			App      string       `json:"app"`
+			Class    string       `json:"class"`
+			Config   string       `json:"config"`
+			Policy   string       `json:"policy"`
+			IPC      float64      `json:"ipc"`
+			HitRate  float64      `json:"l1d_hit_rate"`
+			Counters *stats.Stats `json:"counters"`
+		}{kernel.Name, class, cfg.Name, pol.String(), st.IPC(), st.L1DHitRate(), st}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("%s (%s, %s) on %s under %s\n", kernel.Name, name, class, cfg.Name, pol)
+	fmt.Println(st)
+}
+
+func parsePolicy(s string) (config.Policy, error) {
+	switch strings.ToLower(s) {
+	case "baseline", "base":
+		return config.PolicyBaseline, nil
+	case "stall-bypass", "sb":
+		return config.PolicyStallBypass, nil
+	case "global-protection", "gp":
+		return config.PolicyGlobalProtection, nil
+	case "dlp":
+		return config.PolicyDLP, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", s)
+	}
+}

@@ -1,0 +1,132 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation from the simulator: Table 2, Figs. 3–7 (workload analysis),
+// the §4.3 overhead model, and Figs. 10–13 (the policy evaluation).
+//
+// Usage:
+//
+//	paperfigs                 # everything
+//	paperfigs -exp fig10      # one experiment
+//	paperfigs -exp fig3,fig7  # a comma-separated subset
+//	paperfigs -quiet          # suppress per-run progress
+//
+// Experiment ids: table2, overhead, fig3, fig4, fig5, fig6, fig7,
+// fig10, fig11a, fig11b, fig12a, fig12b, fig13.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	dlpsim "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperfigs: ")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (default: all)")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	format := flag.String("format", "text", "text | csv")
+	flag.Parse()
+	useCSV := strings.EqualFold(*format, "csv")
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(id))] = true
+	}
+	has := func(id string) bool { return want["all"] || want[id] }
+
+	progress := func(app, scheme string) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "running %s under %s...\n", app, scheme)
+		}
+	}
+
+	if has("table2") {
+		fmt.Println(dlpsim.Table2())
+	}
+	if has("overhead") {
+		fmt.Println(dlpsim.OverheadReport(dlpsim.BaselineConfig()))
+	}
+	renderDist := func(d *dlpsim.Distribution) {
+		if useCSV {
+			render(d.RenderCSV)
+			return
+		}
+		render(d.Render)
+	}
+	renderTable := func(t *dlpsim.Table, err error) {
+		check(err)
+		if useCSV {
+			render(t.RenderCSV)
+			return
+		}
+		render(t.Render)
+	}
+
+	if has("fig3") {
+		renderDist(dlpsim.Fig3RDD())
+	}
+	if has("fig4") {
+		renderTable(dlpsim.Fig4MissRates())
+	}
+	if has("fig6") {
+		renderTable(dlpsim.Fig6Ratios())
+	}
+	if has("fig7") {
+		renderDist(dlpsim.Fig7BFS())
+	}
+
+	if has("fig5") {
+		suite, err := dlpsim.RunSuite(dlpsim.AssocSchemes(), progress)
+		check(err)
+		renderTable(suite.Fig5IPC())
+	}
+
+	needEval := has("fig10") || has("fig11a") || has("fig11b") ||
+		has("fig12a") || has("fig12b") || has("fig13")
+	if !needEval {
+		return
+	}
+	suite, err := dlpsim.RunSuite(dlpsim.PaperSchemes(), progress)
+	check(err)
+	builders := []struct {
+		id    string
+		build func() (*dlpsim.Table, error)
+	}{
+		{"fig10", suite.Fig10IPC},
+		{"fig11a", suite.Fig11aTraffic},
+		{"fig11b", suite.Fig11bEvictions},
+		{"fig12a", suite.Fig12aHitRate},
+		{"fig12b", suite.Fig12bHits},
+		{"fig13", suite.Fig13ICNT},
+	}
+	for _, b := range builders {
+		if !has(b.id) {
+			continue
+		}
+		renderTable(b.build())
+	}
+	if has("fig10") {
+		sp, err := suite.Speedups()
+		check(err)
+		fmt.Println("== headline speedups (CI geometric mean vs baseline) ==")
+		for _, sc := range dlpsim.PaperSchemes() {
+			fmt.Printf("%-18s CI x%.3f   CS x%.3f\n", sc.Name, sp[sc.Name]["CI"], sp[sc.Name]["CS"])
+		}
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func render(f func(w io.Writer) error) {
+	check(f(os.Stdout))
+	fmt.Println()
+}

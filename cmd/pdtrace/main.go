@@ -1,0 +1,163 @@
+// Command pdtrace visualizes the Figure 9 dynamics: it replays one
+// application's memory stream through a single DLP-managed L1D with an
+// idealized (zero-latency) memory behind it and prints, after every
+// sampling period, the global TDA/VTA hit counters' decision and the
+// per-instruction protection distances. This is the tool to use to
+// understand *why* DLP protects (or refuses to protect) a workload.
+//
+// Usage:
+//
+//	pdtrace -app CFD
+//	pdtrace -app BFS -samples 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/addr"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pdtrace: ")
+	app := flag.String("app", "CFD", "application abbreviation")
+	maxSamples := flag.Int("samples", 20, "sampling periods to trace")
+	flag.Parse()
+
+	spec, err := workloads.ByAbbr(strings.ToUpper(*app))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := config.Baseline()
+	k := spec.Generate()
+
+	// Collect the distinct memory PCs so the table has stable columns.
+	pcs := collectPCs(k)
+
+	delivered := 0
+	l1d := core.NewL1D(cfg, config.PolicyDLP, func(*mem.Request) { delivered++ })
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 1, ' ', 0)
+	fmt.Fprintf(w, "sample\tTDA hits\tVTA hits\tdecision")
+	for _, pc := range pcs {
+		fmt.Fprintf(w, "\tPD(insn%d)", pc)
+	}
+	fmt.Fprintln(w)
+
+	var (
+		now        uint64
+		id         uint64
+		lastSample uint64
+		prevTDA    uint64
+		prevVTA    uint64
+	)
+	send := func(line addr.Addr, pc uint32, store bool) {
+		id++
+		req := &mem.Request{ID: id, Addr: line, PC: pc, InsnID: addr.HashPC(pc), Store: store}
+		for {
+			now++
+			l1d.Tick(now)
+			out := l1d.Access(req)
+			for {
+				o := l1d.PopOutgoing()
+				if o == nil {
+					break
+				}
+				if !o.Store {
+					l1d.OnResponse(o)
+				}
+			}
+			if out != mem.OutcomeStall {
+				return
+			}
+		}
+	}
+
+	// Replay warps round-robin, one memory instruction per turn,
+	// mirroring internal/rdd's interleaving. Track sample boundaries via
+	// the PDPT sample counter.
+	pdpt := l1d.PDPT()
+	blocks := k.Blocks[:1] // one SM's share is representative
+	ptrs := make([]int, len(blocks[0].Warps))
+	live := len(ptrs)
+	for live > 0 && int(pdpt.Samples()) < *maxSamples {
+		live = 0
+		for wi, wt := range blocks[0].Warps {
+			for ; ptrs[wi] < len(wt.Instrs); ptrs[wi]++ {
+				in := &wt.Instrs[ptrs[wi]]
+				if in.Kind == trace.Compute {
+					continue
+				}
+				for _, line := range in.CoalescedLines(cfg.L1D.LineSize) {
+					// Record counters just before a sample closes so the
+					// decision is reconstructable.
+					tda, vta := pdpt.GlobalHits()
+					prevTDA, prevVTA = tda, vta
+					send(line, in.PC, in.Kind == trace.Store)
+					if s := pdpt.Samples(); s != lastSample {
+						lastSample = s
+						printSample(w, s, prevTDA, prevVTA, pdpt, pcs)
+					}
+				}
+				ptrs[wi]++
+				break
+			}
+			if ptrs[wi] < len(wt.Instrs) {
+				live++
+			}
+		}
+	}
+	w.Flush()
+	st := l1d.Stats()
+	fmt.Printf("\nfinal: accesses=%d hits=%d bypasses=%d vta_hits=%d hit_rate=%.3f\n",
+		st.L1DAccesses, st.L1DHits, st.L1DBypasses, st.VTAHits, st.L1DHitRate())
+}
+
+// printSample emits one row: the counters that drove the Fig. 9 decision
+// and the resulting per-instruction PDs.
+func printSample(w *tabwriter.Writer, sample, tda, vta uint64, pdpt *core.PDPT, pcs []uint32) {
+	decision := "hold"
+	switch {
+	case vta > tda:
+		decision = "increase"
+	case 2*vta < tda:
+		decision = "decrease"
+	}
+	fmt.Fprintf(w, "%d\t%d\t%d\t%s", sample, tda, vta, decision)
+	for _, pc := range pcs {
+		fmt.Fprintf(w, "\t%d", pdpt.PD(addr.HashPC(pc)))
+	}
+	fmt.Fprintln(w)
+}
+
+// collectPCs returns the kernel's distinct memory-instruction PCs.
+func collectPCs(k *trace.Kernel) []uint32 {
+	seen := map[uint32]bool{}
+	for _, b := range k.Blocks {
+		for _, wt := range b.Warps {
+			for i := range wt.Instrs {
+				in := &wt.Instrs[i]
+				if in.Kind != trace.Compute {
+					seen[in.PC] = true
+				}
+			}
+		}
+	}
+	out := make([]uint32, 0, len(seen))
+	for pc := range seen {
+		out = append(out, pc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,154 @@
+package dlpsim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/addr"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/rdd"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Re-exported building blocks. Everything a downstream user needs to run
+// simulations, author workloads, and read results is reachable from this
+// package.
+type (
+	// Config is a full simulated-GPU hardware configuration (Table 1).
+	Config = config.Config
+	// Policy selects the L1D management scheme under evaluation.
+	Policy = config.Policy
+	// Stats holds the counters a simulation run produces.
+	Stats = stats.Stats
+	// Kernel is a launched grid of thread blocks with per-warp traces.
+	Kernel = trace.Kernel
+	// Block is one thread block.
+	Block = trace.Block
+	// WarpTrace is one warp's in-order instruction stream.
+	WarpTrace = trace.WarpTrace
+	// Instr is one warp instruction.
+	Instr = trace.Instr
+	// Workload describes one of the paper's benchmark applications.
+	Workload = workloads.Spec
+	// Overhead is the §4.3 hardware-cost breakdown.
+	Overhead = core.Overhead
+	// RDDProfile is a reuse-distance profile (program and per-PC).
+	RDDProfile = rdd.Profile
+	// Options tunes engine behavior beyond the hardware configuration.
+	Options = sim.Options
+	// Addr is a byte address in the simulated global memory space.
+	Addr = addr.Addr
+)
+
+// Instruction constructors for authoring custom workloads.
+var (
+	// NewLoad builds a global load touching the given per-lane addresses.
+	NewLoad = trace.NewLoad
+	// NewStore builds a global store touching the given per-lane addresses.
+	NewStore = trace.NewStore
+	// NewCompute builds an ALU instruction with the given latency and
+	// active lane count.
+	NewCompute = trace.NewCompute
+)
+
+// The four evaluated L1D policies (§5.3).
+const (
+	Baseline         = config.PolicyBaseline
+	StallBypass      = config.PolicyStallBypass
+	GlobalProtection = config.PolicyGlobalProtection
+	DLP              = config.PolicyDLP
+)
+
+// BaselineConfig returns the paper's Table 1 configuration (16KB 4-way
+// L1D).
+func BaselineConfig() *Config { return config.Baseline() }
+
+// ConfigForL1D returns the preset for a 16, 32 or 64 KB L1D.
+func ConfigForL1D(kb int) (*Config, error) { return config.ByL1DSize(kb) }
+
+// Policies lists the four schemes in the paper's plotting order.
+func Policies() []Policy { return config.AllPolicies() }
+
+// Run executes one kernel on a machine built from cfg under the given
+// policy and returns its counters.
+func Run(cfg *Config, policy Policy, k *Kernel) (*Stats, error) {
+	return sim.RunOnce(cfg, policy, k, sim.Options{})
+}
+
+// RunWithOptions is Run with explicit engine options.
+func RunWithOptions(cfg *Config, policy Policy, k *Kernel, opts Options) (*Stats, error) {
+	return sim.RunOnce(cfg, policy, k, opts)
+}
+
+// Workloads returns the 18 benchmark applications in Table 2 order.
+func Workloads() []Workload { return workloads.All() }
+
+// WorkloadByAbbr finds an application by its figure label (e.g. "BFS").
+func WorkloadByAbbr(abbr string) (Workload, error) {
+	return workloads.ByAbbr(strings.ToUpper(abbr))
+}
+
+// RunApp generates the named application and runs it under policy with
+// an l1dKB-sized L1D (16, 32 or 64).
+func RunApp(abbr string, policy Policy, l1dKB int) (*Stats, error) {
+	spec, err := WorkloadByAbbr(abbr)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := config.ByL1DSize(l1dKB)
+	if err != nil {
+		return nil, err
+	}
+	return Run(cfg, policy, spec.Generate())
+}
+
+// HardwareOverhead evaluates the paper's §4.3 cost model for cfg. With
+// the baseline configuration it reproduces the published numbers: 1264
+// extra bytes, 7.48% of the baseline cache.
+func HardwareOverhead(cfg *Config) Overhead { return core.ComputeOverhead(cfg) }
+
+// ProfileRDD replays a kernel's memory stream and returns its
+// reuse-distance profile under cfg's L1D geometry (§3.1).
+func ProfileRDD(cfg *Config, k *Kernel) *RDDProfile {
+	return rdd.ProfileKernel(k, cfg.NumSMs, cfg.L1D)
+}
+
+// ReuseMissRate replays the stream through LRU caches of cfg's L1D
+// geometry and returns the non-compulsory miss rate (Fig. 4).
+func ReuseMissRate(cfg *Config, k *Kernel) float64 {
+	return rdd.ReuseMissRate(k, cfg.NumSMs, cfg.L1D)
+}
+
+// WriteKernel serializes a kernel to the library's binary trace format;
+// ReadKernel loads one back. The format is documented in
+// internal/trace/serialize.go and is stable across runs, so kernels —
+// including ones converted from external simulators — can be stored and
+// replayed byte-identically.
+func WriteKernel(w io.Writer, k *Kernel) error {
+	_, err := k.WriteTo(w)
+	return err
+}
+
+// ReadKernel deserializes a kernel written by WriteKernel.
+func ReadKernel(r io.Reader) (*Kernel, error) { return trace.ReadKernel(r) }
+
+// ParsePolicy converts a CLI-style name into a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(s) {
+	case "baseline", "base":
+		return Baseline, nil
+	case "stall-bypass", "sb":
+		return StallBypass, nil
+	case "global-protection", "gp":
+		return GlobalProtection, nil
+	case "dlp":
+		return DLP, nil
+	default:
+		return 0, fmt.Errorf("dlpsim: unknown policy %q (want baseline|stall-bypass|global-protection|dlp)", s)
+	}
+}

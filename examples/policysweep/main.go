@@ -1,0 +1,41 @@
+// Policysweep: evaluate all four L1D management schemes plus the doubled
+// cache on a set of cache-insufficient applications — a small-scale
+// version of the paper's Figure 10.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dlpsim "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	apps := []string{"CFD", "PVR", "SS", "SRK", "KM"}
+
+	fmt.Printf("%-6s %10s %14s %18s %8s %8s\n",
+		"app", "Baseline", "Stall-Bypass", "Global-Protection", "DLP", "32KB")
+	for _, app := range apps {
+		base, err := dlpsim.RunApp(app, dlpsim.Baseline, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := []float64{1}
+		for _, p := range []dlpsim.Policy{dlpsim.StallBypass, dlpsim.GlobalProtection, dlpsim.DLP} {
+			st, err := dlpsim.RunApp(app, p, 16)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, st.IPC()/base.IPC())
+		}
+		st32, err := dlpsim.RunApp(app, dlpsim.Baseline, 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row = append(row, st32.IPC()/base.IPC())
+		fmt.Printf("%-6s %10.2f %14.2f %18.2f %8.2f %8.2f\n",
+			app, row[0], row[1], row[2], row[3], row[4])
+	}
+	fmt.Println("\nvalues are IPC normalized to the 16KB baseline (Fig. 10 style)")
+}

@@ -1,0 +1,33 @@
+// Quickstart: run one cache-insufficient application (CFD) under the
+// baseline L1D and under Dynamic Line Protection, and compare the
+// headline counters — the minimal end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dlpsim "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	base, err := dlpsim.RunApp("CFD", dlpsim.Baseline, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dlp, err := dlpsim.RunApp("CFD", dlpsim.DLP, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("CFD on the Table 1 GPU (16KB 4-way L1D per SM)")
+	fmt.Printf("%-22s %12s %12s\n", "", "Baseline", "DLP")
+	fmt.Printf("%-22s %12.2f %12.2f\n", "IPC", base.IPC(), dlp.IPC())
+	fmt.Printf("%-22s %12.3f %12.3f\n", "L1D hit rate", base.L1DHitRate(), dlp.L1DHitRate())
+	fmt.Printf("%-22s %12d %12d\n", "L1D evictions", base.L1DEvictions, dlp.L1DEvictions)
+	fmt.Printf("%-22s %12d %12d\n", "bypassed accesses", base.L1DBypasses, dlp.L1DBypasses)
+	fmt.Printf("%-22s %12d %12d\n", "pipeline stall cycles", base.L1DStalls, dlp.L1DStalls)
+	fmt.Printf("\nDLP speedup: x%.2f\n", dlp.IPC()/base.IPC())
+}

@@ -1,0 +1,324 @@
+package dlpsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/config"
+	"repro/internal/rdd"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Table and Distribution are the renderable result shapes the figure
+// builders produce.
+type (
+	Table        = report.Table
+	Distribution = report.Distribution
+	Series       = report.Series
+)
+
+// Scheme is one (policy, L1D size) combination plotted in the paper's
+// evaluation figures.
+type Scheme struct {
+	Name   string
+	Policy Policy
+	L1DKB  int
+}
+
+// PaperSchemes are the five configurations of Figure 10, in plotting
+// order.
+func PaperSchemes() []Scheme {
+	return []Scheme{
+		{"16KB(Baseline)", Baseline, 16},
+		{"Stall-Bypass", StallBypass, 16},
+		{"Global-Protection", GlobalProtection, 16},
+		{"DLP", DLP, 16},
+		{"32KB", Baseline, 32},
+	}
+}
+
+// AssocSchemes are the three cache sizes of Figures 4 and 5.
+func AssocSchemes() []Scheme {
+	return []Scheme{
+		{"16KB", Baseline, 16},
+		{"32KB", Baseline, 32},
+		{"64KB", Baseline, 64},
+	}
+}
+
+// SuiteResult holds one simulation per (application, scheme).
+type SuiteResult struct {
+	Apps    []Workload
+	Schemes []Scheme
+	// Stats[appAbbr][schemeName]
+	Stats map[string]map[string]*Stats
+}
+
+// RunSuite simulates every Table 2 application under every scheme.
+// progress, when non-nil, is called before each run.
+func RunSuite(schemes []Scheme, progress func(app, scheme string)) (*SuiteResult, error) {
+	res := &SuiteResult{
+		Apps:    workloads.All(),
+		Schemes: schemes,
+		Stats:   make(map[string]map[string]*stats.Stats),
+	}
+	for _, spec := range res.Apps {
+		k := spec.Generate()
+		res.Stats[spec.Abbr] = make(map[string]*stats.Stats)
+		for _, sc := range schemes {
+			if progress != nil {
+				progress(spec.Abbr, sc.Name)
+			}
+			cfg, err := config.ByL1DSize(sc.L1DKB)
+			if err != nil {
+				return nil, err
+			}
+			st, err := sim.RunOnce(cfg, sc.Policy, k, sim.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("%s under %s: %w", spec.Abbr, sc.Name, err)
+			}
+			res.Stats[spec.Abbr][sc.Name] = st
+		}
+	}
+	return res, nil
+}
+
+// apps/classes return the column labels shared by every series table.
+func (r *SuiteResult) appLabels() ([]string, []string) {
+	apps := make([]string, len(r.Apps))
+	classes := make([]string, len(r.Apps))
+	for i, s := range r.Apps {
+		apps[i] = s.Abbr
+		classes[i] = s.Class.String()
+	}
+	return apps, classes
+}
+
+// seriesTable builds a table with one row per scheme where each value is
+// extract(stats) normalized by the first scheme's value when normalize
+// is set.
+func (r *SuiteResult) seriesTable(title string, normalize bool, extract func(*Stats) float64) (*Table, error) {
+	apps, classes := r.appLabels()
+	t := &Table{Title: title, Apps: apps, Classes: classes}
+	base := make([]float64, len(r.Apps))
+	for i, spec := range r.Apps {
+		base[i] = extract(r.Stats[spec.Abbr][r.Schemes[0].Name])
+	}
+	for _, sc := range r.Schemes {
+		vals := make([]float64, len(r.Apps))
+		for i, spec := range r.Apps {
+			v := extract(r.Stats[spec.Abbr][sc.Name])
+			if normalize {
+				if base[i] != 0 {
+					v /= base[i]
+				} else {
+					v = 0
+				}
+			}
+			vals[i] = v
+		}
+		if err := t.AddSeries(sc.Name, vals); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Fig10IPC builds the paper's headline figure: IPC under each scheme,
+// normalized to the 16KB baseline, with CS/CI geometric means.
+func (r *SuiteResult) Fig10IPC() (*Table, error) {
+	return r.seriesTable("Fig. 10: normalized IPC", true, func(s *Stats) float64 { return s.IPC() })
+}
+
+// Fig11aTraffic builds normalized L1D traffic (accesses serviced
+// in-cache; bypassed requests don't count).
+func (r *SuiteResult) Fig11aTraffic() (*Table, error) {
+	return r.seriesTable("Fig. 11a: normalized L1D traffic", true,
+		func(s *Stats) float64 { return float64(s.L1DTraffic) })
+}
+
+// Fig11bEvictions builds normalized L1D evictions.
+func (r *SuiteResult) Fig11bEvictions() (*Table, error) {
+	return r.seriesTable("Fig. 11b: normalized L1D evictions", true,
+		func(s *Stats) float64 { return float64(s.L1DEvictions) })
+}
+
+// Fig12aHitRate builds absolute L1D hit rates (bypasses excluded from
+// the denominator, §6.3).
+func (r *SuiteResult) Fig12aHitRate() (*Table, error) {
+	return r.seriesTable("Fig. 12a: L1D hit rate", false,
+		func(s *Stats) float64 { return s.L1DHitRate() })
+}
+
+// Fig12bHits builds the normalized number of L1D hits.
+func (r *SuiteResult) Fig12bHits() (*Table, error) {
+	return r.seriesTable("Fig. 12b: normalized L1D hits", true,
+		func(s *Stats) float64 { return float64(s.L1DHits) })
+}
+
+// Fig13ICNT builds normalized interconnect traffic (flits, including the
+// background L1I/L1C/L1T share).
+func (r *SuiteResult) Fig13ICNT() (*Table, error) {
+	return r.seriesTable("Fig. 13: normalized interconnect traffic", true,
+		func(s *Stats) float64 { return float64(s.ICNTFlits) })
+}
+
+// Fig5IPC builds the associativity study: IPC at 16/32/64KB normalized
+// to 16KB. Use with a suite run over AssocSchemes.
+func (r *SuiteResult) Fig5IPC() (*Table, error) {
+	return r.seriesTable("Fig. 5: IPC vs L1D size (normalized to 16KB)", true,
+		func(s *Stats) float64 { return s.IPC() })
+}
+
+// Fig3RDD profiles every application and returns the program-level
+// reuse-distance distribution table.
+func Fig3RDD() *Distribution {
+	cfg := config.Baseline()
+	d := &Distribution{
+		Title:   "Fig. 3: reuse distance distribution per application",
+		Buckets: rdd.BucketLabels,
+	}
+	for _, spec := range workloads.All() {
+		prof := rdd.ProfileKernel(spec.Generate(), cfg.NumSMs, cfg.L1D)
+		d.Rows = append(d.Rows, report.DistRow{
+			Label:     spec.Abbr,
+			Fractions: prof.GlobalFractions(),
+		})
+	}
+	return d
+}
+
+// Fig4MissRates replays every application through 16/32/64KB LRU caches
+// and tabulates the reuse-data miss rate (compulsory misses excluded).
+func Fig4MissRates() (*Table, error) {
+	apps := make([]string, 0, 18)
+	classes := make([]string, 0, 18)
+	for _, s := range workloads.All() {
+		apps = append(apps, s.Abbr)
+		classes = append(classes, s.Class.String())
+	}
+	t := &Table{Title: "Fig. 4: reuse-data miss rate vs L1D size", Apps: apps, Classes: nil}
+	n := config.Baseline().NumSMs
+	for _, sc := range AssocSchemes() {
+		cfg, err := config.ByL1DSize(sc.L1DKB)
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, 0, len(apps))
+		for _, s := range workloads.All() {
+			vals = append(vals, rdd.ReuseMissRate(s.Generate(), n, cfg.L1D))
+		}
+		if err := t.AddSeries(sc.Name, vals); err != nil {
+			return nil, err
+		}
+	}
+	_ = classes
+	return t, nil
+}
+
+// Fig6Ratios tabulates the memory-access ratio of every application in
+// ascending order with its CS/CI classification (1% threshold).
+func Fig6Ratios() (*Table, error) {
+	lineSize := config.Baseline().L1D.LineSize
+	sorted := workloads.SortedByRatio(lineSize)
+	apps := make([]string, len(sorted))
+	classes := make([]string, len(sorted))
+	vals := make([]float64, len(sorted))
+	for i, s := range sorted {
+		apps[i] = s.Abbr
+		classes[i] = s.Class.String()
+		vals[i] = s.Generate().Summarize(lineSize).MemoryAccessRatio() * 100
+	}
+	t := &Table{Title: "Fig. 6: memory access ratio (%, sorted)", Apps: apps, Format: "%.3f"}
+	if err := t.AddSeries("ratio%", vals); err != nil {
+		return nil, err
+	}
+	if err := t.AddSeries("CI?(>1%)", boolSeries(classes)); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func boolSeries(classes []string) []float64 {
+	out := make([]float64, len(classes))
+	for i, c := range classes {
+		if c == "CI" {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Fig7BFS returns the per-instruction RDD of the BFS application.
+func Fig7BFS() *Distribution {
+	cfg := config.Baseline()
+	spec, _ := workloads.ByAbbr("BFS")
+	prof := rdd.ProfileKernel(spec.Generate(), cfg.NumSMs, cfg.L1D)
+	d := &Distribution{
+		Title:   "Fig. 7: per-instruction RDD of BFS",
+		Buckets: rdd.BucketLabels,
+	}
+	for _, pc := range prof.PCs() {
+		d.Rows = append(d.Rows, report.DistRow{
+			Label:     fmt.Sprintf("insn%d", pc),
+			Fractions: prof.PCFractions(pc),
+		})
+	}
+	return d
+}
+
+// Table2 tabulates the benchmark applications (name, suite, class,
+// input) as in the paper.
+func Table2() string {
+	out := "== Table 2: benchmark applications ==\n"
+	for _, s := range workloads.All() {
+		out += fmt.Sprintf("%-5s %-2s %-13s %-40s input=%s\n",
+			s.Abbr, s.Class, s.Suite, s.Name, s.Input)
+	}
+	return out
+}
+
+// OverheadReport formats the §4.3 hardware-cost model for cfg.
+func OverheadReport(cfg *Config) string {
+	o := HardwareOverhead(cfg)
+	return fmt.Sprintf(`== §4.3 hardware overhead (%s) ==
+TDA extra (insn ID + PL):  %5d B
+Victim tag array:          %5d B
+PD prediction table:       %5d B
+total extra:               %5d B
+baseline TDA:              %5d B
+overhead:                  %.2f%%
+`, cfg.Name, o.TDAExtraBytes, o.VTABytes, o.PDPTBytes, o.TotalBytes, o.BaselineBytes, o.Percent)
+}
+
+// Speedups summarizes a suite's headline numbers: the CS and CI
+// geometric-mean IPC of every scheme relative to the first.
+func (r *SuiteResult) Speedups() (map[string]map[string]float64, error) {
+	t, err := r.Fig10IPC()
+	if err != nil {
+		return nil, err
+	}
+	_, classes := r.appLabels()
+	out := make(map[string]map[string]float64)
+	for _, s := range t.Series {
+		var cs, ci []float64
+		for i, v := range s.Values {
+			if classes[i] == "CS" {
+				cs = append(cs, v)
+			} else {
+				ci = append(ci, v)
+			}
+		}
+		m := map[string]float64{"CS": stats.GeoMean(cs), "CI": stats.GeoMean(ci)}
+		for k, v := range m {
+			if math.IsNaN(v) {
+				return nil, fmt.Errorf("dlpsim: NaN %s geomean for scheme %s", k, s.Name)
+			}
+		}
+		out[s.Name] = m
+	}
+	return out, nil
+}

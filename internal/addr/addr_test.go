@@ -1,0 +1,158 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMapperRejectsBadGeometry(t *testing.T) {
+	cases := []struct {
+		line, sets int
+	}{
+		{0, 32}, {-1, 32}, {3, 32}, {96, 32},
+		{128, 0}, {128, -4}, {128, 33}, {128, 7},
+	}
+	for _, c := range cases {
+		if _, err := NewMapper(c.line, c.sets, LinearIndex); err == nil {
+			t.Errorf("NewMapper(%d,%d) accepted invalid geometry", c.line, c.sets)
+		}
+	}
+}
+
+func TestMustMapperPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMapper did not panic on invalid geometry")
+		}
+	}()
+	MustMapper(100, 32, LinearIndex)
+}
+
+func TestLineAlignment(t *testing.T) {
+	m := MustMapper(128, 32, LinearIndex)
+	if got := m.Line(0); got != 0 {
+		t.Errorf("Line(0) = %#x", got)
+	}
+	if got := m.Line(127); got != 0 {
+		t.Errorf("Line(127) = %#x, want 0", got)
+	}
+	if got := m.Line(128); got != 128 {
+		t.Errorf("Line(128) = %#x, want 128", got)
+	}
+	if got := m.Line(0xdeadbeef); got != 0xdeadbe80 {
+		t.Errorf("Line(0xdeadbeef) = %#x, want 0xdeadbe80", got)
+	}
+}
+
+func TestLinearSetIndex(t *testing.T) {
+	m := MustMapper(128, 32, LinearIndex)
+	for i := 0; i < 64; i++ {
+		a := Addr(i * 128)
+		want := i % 32
+		if got := m.Set(a); got != want {
+			t.Errorf("Set(line %d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestLinearSetIgnoresOffsetBits(t *testing.T) {
+	m := MustMapper(128, 32, LinearIndex)
+	base := Addr(5 * 128)
+	want := m.Set(base)
+	for off := Addr(0); off < 128; off++ {
+		if got := m.Set(base + off); got != want {
+			t.Fatalf("Set(base+%d) = %d, want %d", off, got, want)
+		}
+	}
+}
+
+func TestHashSetSpreadsPowerOfTwoStrides(t *testing.T) {
+	m := MustMapper(128, 32, HashIndex)
+	// Stride of numSets*lineSize maps every access to the same set under a
+	// linear index; the hash must spread them over more than one set.
+	seen := map[int]bool{}
+	for i := 0; i < 256; i++ {
+		seen[m.Set(Addr(i*32*128))] = true
+	}
+	if len(seen) < 8 {
+		t.Errorf("hash index only reached %d/32 sets on a power-of-two stride", len(seen))
+	}
+}
+
+func TestHashSetInRange(t *testing.T) {
+	m := MustMapper(128, 32, HashIndex)
+	f := func(a uint64) bool {
+		s := m.Set(Addr(a))
+		return s >= 0 && s < 32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTagDistinguishesLines(t *testing.T) {
+	for _, kind := range []IndexKind{LinearIndex, HashIndex} {
+		m := MustMapper(128, 32, kind)
+		f := func(a, b uint64) bool {
+			x, y := Addr(a), Addr(b)
+			sameLine := m.Line(x) == m.Line(y)
+			sameCoord := m.Set(x) == m.Set(y) && m.Tag(x) == m.Tag(y)
+			return sameLine == sameCoord
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("kind %v: %v", kind, err)
+		}
+	}
+}
+
+func TestLineIDMatchesTag(t *testing.T) {
+	m := MustMapper(128, 64, HashIndex)
+	f := func(a uint64) bool {
+		return m.LineID(Addr(a)) == m.Tag(Addr(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionOfInterleaves(t *testing.T) {
+	for i := 0; i < 48; i++ {
+		a := Addr(i * 128)
+		if got, want := PartitionOf(a, 128, 12), i%12; got != want {
+			t.Errorf("PartitionOf(line %d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := PartitionOf(1234, 128, 0); got != 0 {
+		t.Errorf("PartitionOf with 0 partitions = %d, want 0", got)
+	}
+}
+
+func TestHashPCRange(t *testing.T) {
+	f := func(pc uint32) bool { return HashPC(pc) < 128 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashPCSmallPCsDistinct(t *testing.T) {
+	// A kernel's load PCs are small and consecutive; the 7-bit hash must not
+	// collide for the first 128 PCs or the PDPT would conflate instructions.
+	seen := map[uint8]uint32{}
+	for pc := uint32(0); pc < 128; pc++ {
+		h := HashPC(pc)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("HashPC collision: pc %d and %d both hash to %d", prev, pc, h)
+		}
+		seen[h] = pc
+	}
+}
+
+func TestMapperAccessors(t *testing.T) {
+	m := MustMapper(128, 32, HashIndex)
+	if m.LineSize() != 128 {
+		t.Errorf("LineSize = %d", m.LineSize())
+	}
+	if m.NumSets() != 32 {
+		t.Errorf("NumSets = %d", m.NumSets())
+	}
+}

@@ -1,0 +1,139 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/mem"
+)
+
+// MSHREntry tracks one outstanding line fetch and the requests merged
+// onto it. Set/Way name the reserved tag-array slot the fill will land
+// in; NoAllocate entries (bypass-adjacent merges) fill nothing.
+type MSHREntry struct {
+	LineAddr addr.Addr
+	Set, Way int
+	Requests []*mem.Request
+}
+
+// MSHR is the miss-status holding register file of one cache.
+type MSHR struct {
+	maxEntries int
+	maxMerges  int
+	entries    map[addr.Addr]*MSHREntry
+}
+
+// NewMSHR builds an MSHR file with maxEntries entries, each accepting up
+// to maxMerges merged requests (including the original).
+func NewMSHR(maxEntries, maxMerges int) *MSHR {
+	if maxEntries <= 0 || maxMerges <= 0 {
+		panic(fmt.Sprintf("cache: invalid MSHR geometry %d/%d", maxEntries, maxMerges))
+	}
+	return &MSHR{
+		maxEntries: maxEntries,
+		maxMerges:  maxMerges,
+		entries:    make(map[addr.Addr]*MSHREntry, maxEntries),
+	}
+}
+
+// Lookup returns the entry for lineAddr, or nil.
+func (m *MSHR) Lookup(lineAddr addr.Addr) *MSHREntry {
+	return m.entries[lineAddr]
+}
+
+// Full reports whether a new entry cannot be allocated.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.maxEntries }
+
+// Size returns the number of live entries.
+func (m *MSHR) Size() int { return len(m.entries) }
+
+// CanMerge reports whether one more request fits in entry e.
+func (m *MSHR) CanMerge(e *MSHREntry) bool { return len(e.Requests) < m.maxMerges }
+
+// Merge appends req to entry e. The caller must have checked CanMerge.
+func (m *MSHR) Merge(e *MSHREntry, req *mem.Request) {
+	if !m.CanMerge(e) {
+		panic("cache: MSHR merge beyond capacity")
+	}
+	e.Requests = append(e.Requests, req)
+}
+
+// Allocate creates a new entry for req's line, targeting (set, way) for
+// the fill. The caller must have checked Full and Lookup.
+func (m *MSHR) Allocate(req *mem.Request, set, way int) *MSHREntry {
+	if m.Full() {
+		panic("cache: MSHR allocate while full")
+	}
+	if _, exists := m.entries[req.Addr]; exists {
+		panic(fmt.Sprintf("cache: duplicate MSHR entry for %#x", uint64(req.Addr)))
+	}
+	e := &MSHREntry{
+		LineAddr: req.Addr,
+		Set:      set,
+		Way:      way,
+		Requests: []*mem.Request{req},
+	}
+	m.entries[req.Addr] = e
+	return e
+}
+
+// Release removes and returns the entry for lineAddr when its fill
+// arrives. It returns nil if no entry exists (e.g. a bypass response).
+func (m *MSHR) Release(lineAddr addr.Addr) *MSHREntry {
+	e := m.entries[lineAddr]
+	if e != nil {
+		delete(m.entries, lineAddr)
+	}
+	return e
+}
+
+// FIFO is a bounded request queue (the miss queue toward the
+// interconnect, and response staging queues).
+type FIFO struct {
+	max   int
+	items []*mem.Request
+}
+
+// NewFIFO builds a queue holding at most max requests; max <= 0 means
+// unbounded.
+func NewFIFO(max int) *FIFO { return &FIFO{max: max} }
+
+// Full reports whether Push would fail.
+func (q *FIFO) Full() bool { return q.max > 0 && len(q.items) >= q.max }
+
+// Empty reports whether the queue holds nothing.
+func (q *FIFO) Empty() bool { return len(q.items) == 0 }
+
+// Len returns the queued count.
+func (q *FIFO) Len() int { return len(q.items) }
+
+// Push appends req; it reports false when the queue is full.
+func (q *FIFO) Push(req *mem.Request) bool {
+	if q.Full() {
+		return false
+	}
+	q.items = append(q.items, req)
+	return true
+}
+
+// Pop removes and returns the head, or nil when empty.
+func (q *FIFO) Pop() *mem.Request {
+	if len(q.items) == 0 {
+		return nil
+	}
+	head := q.items[0]
+	// Shift rather than re-slice so the backing array does not pin
+	// popped requests alive.
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return head
+}
+
+// Peek returns the head without removing it, or nil when empty.
+func (q *FIFO) Peek() *mem.Request {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}

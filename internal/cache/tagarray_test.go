@@ -1,0 +1,202 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func newTA(t *testing.T, sets, ways int) *TagArray {
+	t.Helper()
+	return NewTagArray(addr.MustMapper(128, sets, addr.LinearIndex), ways)
+}
+
+func TestNewTagArrayPanicsOnBadWays(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 0 ways")
+		}
+	}()
+	NewTagArray(addr.MustMapper(128, 32, addr.LinearIndex), 0)
+}
+
+func TestProbeMissOnEmpty(t *testing.T) {
+	ta := newTA(t, 32, 4)
+	set, way, res := ta.Probe(0x1000)
+	if res != ProbeMiss || way != -1 {
+		t.Errorf("probe of empty array: set=%d way=%d res=%v", set, way, res)
+	}
+}
+
+func TestReserveFillProbeCycle(t *testing.T) {
+	ta := newTA(t, 32, 4)
+	a := addr.Addr(0x2000)
+	set, _, res := ta.Probe(a)
+	if res != ProbeMiss {
+		t.Fatalf("initial probe = %v", res)
+	}
+	way := ta.VictimIn(set, nil)
+	if way < 0 {
+		t.Fatal("no victim in empty set")
+	}
+	ev := ta.Reserve(set, way, a)
+	if ev.Valid {
+		t.Error("eviction reported from an empty way")
+	}
+	if _, w, res := ta.Probe(a); res != ProbeReserved || w != way {
+		t.Errorf("probe while reserved: way=%d res=%v", w, res)
+	}
+	ta.Fill(set, way)
+	if _, w, res := ta.Probe(a); res != ProbeHit || w != way {
+		t.Errorf("probe after fill: way=%d res=%v", w, res)
+	}
+}
+
+func TestLRUVictimSelection(t *testing.T) {
+	ta := newTA(t, 2, 2)
+	// Two addresses in set 0 (sets=2, line=128: set = line id % 2).
+	a0, a1, a2 := addr.Addr(0), addr.Addr(2*128), addr.Addr(4*128)
+	for _, a := range []addr.Addr{a0, a1} {
+		set, _, _ := ta.Probe(a)
+		w := ta.VictimIn(set, nil)
+		ta.Reserve(set, w, a)
+		ta.Fill(set, w)
+	}
+	// Touch a0 so a1 becomes LRU.
+	set, w, res := ta.Probe(a0)
+	if res != ProbeHit {
+		t.Fatal("a0 not resident")
+	}
+	ta.Touch(set, w)
+	victim := ta.VictimIn(set, nil)
+	ev := ta.Reserve(set, victim, a2)
+	if !ev.Valid || ev.Tag != ta.Mapper().Tag(a1) {
+		t.Errorf("evicted tag %#x, want a1's tag %#x", ev.Tag, ta.Mapper().Tag(a1))
+	}
+}
+
+func TestVictimEligibilityFilter(t *testing.T) {
+	ta := newTA(t, 2, 2)
+	a0, a1 := addr.Addr(0), addr.Addr(2*128)
+	for _, a := range []addr.Addr{a0, a1} {
+		set, _, _ := ta.Probe(a)
+		w := ta.VictimIn(set, nil)
+		ta.Reserve(set, w, a)
+		ta.Fill(set, w)
+	}
+	set := ta.Mapper().Set(a0)
+	// Protect every line: no victim available.
+	for w := range ta.Set(set) {
+		ta.Set(set)[w].PL = 3
+	}
+	if v := ta.VictimIn(set, func(l *Line) bool { return l.PL == 0 }); v != -1 {
+		t.Errorf("victim %d found although all lines protected", v)
+	}
+	// Release one line: it must be chosen regardless of LRU order.
+	ta.Set(set)[1].PL = 0
+	if v := ta.VictimIn(set, func(l *Line) bool { return l.PL == 0 }); v != 1 {
+		t.Errorf("victim = %d, want the only unprotected way 1", v)
+	}
+}
+
+func TestReservedLinesNeverVictims(t *testing.T) {
+	ta := newTA(t, 2, 2)
+	set := 0
+	ta.Reserve(set, 0, addr.Addr(0))
+	ta.Reserve(set, 1, addr.Addr(2*128))
+	if v := ta.VictimIn(set, nil); v != -1 {
+		t.Errorf("victim %d found in a fully reserved set", v)
+	}
+}
+
+func TestReservePanicsOnReservedWay(t *testing.T) {
+	ta := newTA(t, 2, 2)
+	ta.Reserve(0, 0, addr.Addr(0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double reserve did not panic")
+		}
+	}()
+	ta.Reserve(0, 0, addr.Addr(2*128))
+}
+
+func TestFillPanicsOnUnreservedWay(t *testing.T) {
+	ta := newTA(t, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fill of unreserved way did not panic")
+		}
+	}()
+	ta.Fill(0, 0)
+}
+
+func TestInvalidate(t *testing.T) {
+	ta := newTA(t, 2, 2)
+	a := addr.Addr(0)
+	set, _, _ := ta.Probe(a)
+	w := ta.VictimIn(set, nil)
+	ta.Reserve(set, w, a)
+	ta.Fill(set, w)
+	ta.Invalidate(set, w)
+	if _, _, res := ta.Probe(a); res != ProbeMiss {
+		t.Errorf("probe after invalidate = %v", res)
+	}
+	if ta.CountValid() != 0 {
+		t.Errorf("CountValid = %d after invalidate", ta.CountValid())
+	}
+}
+
+// TestNoDuplicateLines drives random fills through the array and checks
+// the core invariant: a line address is resident in at most one way, and
+// probing any previously filled (and not since evicted) address hits.
+func TestNoDuplicateLines(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		ta := NewTagArray(addr.MustMapper(128, 4, addr.LinearIndex), 4)
+		resident := map[uint64]bool{} // tag -> resident?
+		for _, s := range seeds {
+			a := addr.Addr(uint64(s%64) * 128)
+			set, _, res := ta.Probe(a)
+			switch res {
+			case ProbeHit:
+				if !resident[ta.Mapper().Tag(a)] {
+					return false // hit on something we never filled
+				}
+				continue
+			case ProbeReserved:
+				continue
+			}
+			w := ta.VictimIn(set, nil)
+			if w < 0 {
+				continue
+			}
+			ev := ta.Reserve(set, w, a)
+			if ev.Valid {
+				delete(resident, ev.Tag)
+			}
+			ta.Fill(set, w)
+			resident[ta.Mapper().Tag(a)] = true
+		}
+		// Every resident tag must be found in exactly one way.
+		found := map[uint64]int{}
+		for s := 0; s < ta.NumSets(); s++ {
+			for _, ln := range ta.Set(s) {
+				if ln.Valid {
+					found[ln.Tag]++
+				}
+			}
+		}
+		if len(found) != len(resident) {
+			return false
+		}
+		for tag, n := range found {
+			if n != 1 || !resident[tag] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package config describes simulated GPU hardware configurations.
+//
+// The baseline configuration reproduces Table 1 of the paper: a Tesla
+// M2090-like Fermi GPU with 16 SMs, dual GTO warp schedulers, and a 16KB
+// 32-set 4-way hash-indexed L1 data cache per SM. Variants double or
+// quadruple the L1D associativity (32KB / 64KB) while holding everything
+// else fixed, matching the paper's Figure 4/5 sensitivity study.
+package config
+
+import "fmt"
+
+// Policy names the L1D management scheme under evaluation (§5.3).
+type Policy int
+
+const (
+	// PolicyBaseline is stall-and-retry LRU, the unmodified L1D.
+	PolicyBaseline Policy = iota
+	// PolicyStallBypass bypasses the L1D whenever the access would stall.
+	PolicyStallBypass
+	// PolicyGlobalProtection applies one protection distance to all lines
+	// (the PDP scheme of Duong et al. adapted to the GPU L1D).
+	PolicyGlobalProtection
+	// PolicyDLP is the paper's contribution: per-instruction protection
+	// distances with VTA-informed prediction and protected-set bypassing.
+	PolicyDLP
+)
+
+// String returns the name used in the paper's figures.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBaseline:
+		return "Baseline"
+	case PolicyStallBypass:
+		return "Stall-Bypass"
+	case PolicyGlobalProtection:
+		return "Global-Protection"
+	case PolicyDLP:
+		return "DLP"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// AllPolicies lists the four schemes in the order the paper plots them.
+func AllPolicies() []Policy {
+	return []Policy{PolicyBaseline, PolicyStallBypass, PolicyGlobalProtection, PolicyDLP}
+}
+
+// SchedPolicy selects the warp scheduling algorithm.
+type SchedPolicy int
+
+const (
+	// SchedGTO is greedy-then-oldest (Table 1's policy): keep issuing
+	// from the last warp until it stalls, then pick the oldest ready.
+	SchedGTO SchedPolicy = iota
+	// SchedLRR is loose round-robin: rotate through ready warps.
+	SchedLRR
+)
+
+// String names the policy as GPGPU-Sim does.
+func (s SchedPolicy) String() string {
+	switch s {
+	case SchedGTO:
+		return "GTO"
+	case SchedLRR:
+		return "LRR"
+	default:
+		return fmt.Sprintf("SchedPolicy(%d)", int(s))
+	}
+}
+
+// CacheGeom describes one cache level's geometry.
+type CacheGeom struct {
+	Sets     int  // number of sets
+	Ways     int  // associativity
+	LineSize int  // bytes per line
+	Hashed   bool // hashed (true) or linear (false) set index
+}
+
+// SizeBytes returns the data capacity of the cache.
+func (g CacheGeom) SizeBytes() int { return g.Sets * g.Ways * g.LineSize }
+
+// Lines returns the total number of lines.
+func (g CacheGeom) Lines() int { return g.Sets * g.Ways }
+
+// Config is a full simulated-GPU configuration (Table 1).
+type Config struct {
+	Name string
+
+	// Core organization.
+	NumSMs          int // streaming multiprocessors
+	WarpSize        int // threads per warp
+	MaxWarpsPerSM   int // concurrent warps resident on one SM
+	SchedulersPerSM int // warp schedulers issuing per cycle
+
+	// MaxActiveWarps caps how many of the oldest resident warps the
+	// schedulers may issue from (CCWS-style static throttling, an
+	// extension in the spirit of the paper's related work [6, 24]).
+	// Zero means no throttling.
+	MaxActiveWarps int
+
+	// Scheduler selects the warp scheduling policy (Table 1: GTO).
+	Scheduler SchedPolicy
+
+	// L1 data cache.
+	L1D           CacheGeom
+	L1DMSHRs      int // miss-status holding registers per L1D
+	L1DMSHRMerges int // max requests merged into one MSHR entry
+	L1DMissQueue  int // outstanding miss-queue slots toward the ICNT
+	L1DHitLatency int // cycles from probe to response on a hit
+
+	// Interconnect.
+	ICNTLatency        int // core cycles of one-way latency
+	ICNTFlitBytes      int // bytes carried per flit
+	ICNTBandwidthFlits int // flits accepted per ICNT cycle in each direction
+
+	// Memory side.
+	NumPartitions int       // memory partitions, each with an L2 slice + DRAM channel
+	L2            CacheGeom // geometry of one L2 partition slice
+	L2MSHRs       int
+	L2MissQueue   int
+	L2HitLatency  int
+	DRAMBanks     int // banks per partition
+	DRAMRowHit    int // memory-clock cycles for a row-buffer hit
+	DRAMRowMiss   int // memory-clock cycles for activate+precharge+access
+	DRAMBusCycles int // memory-clock cycles the data bus is busy per line
+
+	// Clock domains, in MHz (Table 1: 650/650/924).
+	CoreClockMHz int
+	ICNTClockMHz int
+	MemClockMHz  int
+
+	// DLP / Global-Protection parameters (§4).
+	VTAWays        int // VTA associativity (paper: equal to L1D ways)
+	PDPTEntries    int // protection-distance prediction table size
+	PDBits         int // width of the PD / protected-life field
+	SampleAccesses int // cache accesses per sampling period (paper: 200)
+	SampleInsnCap  int // instruction-count cap that force-closes a sample
+}
+
+// MaxPD returns the saturation value of the PD/PL field.
+func (c *Config) MaxPD() int { return 1<<c.PDBits - 1 }
+
+// Validate reports the first structural problem with the configuration.
+func (c *Config) Validate() error {
+	checks := []struct {
+		ok  bool
+		msg string
+	}{
+		{c.NumSMs > 0, "NumSMs must be positive"},
+		{c.WarpSize > 0, "WarpSize must be positive"},
+		{c.MaxWarpsPerSM > 0, "MaxWarpsPerSM must be positive"},
+		{c.SchedulersPerSM > 0, "SchedulersPerSM must be positive"},
+		{c.MaxActiveWarps >= 0, "MaxActiveWarps must be non-negative"},
+		{c.L1D.Sets > 0 && c.L1D.Sets&(c.L1D.Sets-1) == 0, "L1D.Sets must be a power of two"},
+		{c.L1D.Ways > 0, "L1D.Ways must be positive"},
+		{c.L1D.LineSize > 0 && c.L1D.LineSize&(c.L1D.LineSize-1) == 0, "L1D.LineSize must be a power of two"},
+		{c.L1DMSHRs > 0, "L1DMSHRs must be positive"},
+		{c.L1DMSHRMerges > 0, "L1DMSHRMerges must be positive"},
+		{c.L1DMissQueue > 0, "L1DMissQueue must be positive"},
+		{c.NumPartitions > 0, "NumPartitions must be positive"},
+		{c.L2.Sets > 0 && c.L2.Sets&(c.L2.Sets-1) == 0, "L2.Sets must be a power of two"},
+		{c.L2.Ways > 0, "L2.Ways must be positive"},
+		{c.L2.LineSize == c.L1D.LineSize, "L2 line size must match L1D line size"},
+		{c.DRAMBanks > 0, "DRAMBanks must be positive"},
+		{c.CoreClockMHz > 0 && c.ICNTClockMHz > 0 && c.MemClockMHz > 0, "clocks must be positive"},
+		{c.VTAWays > 0, "VTAWays must be positive"},
+		{c.PDPTEntries > 0, "PDPTEntries must be positive"},
+		{c.PDBits > 0 && c.PDBits <= 16, "PDBits must be in 1..16"},
+		{c.SampleAccesses > 0, "SampleAccesses must be positive"},
+		{c.SampleInsnCap > 0, "SampleInsnCap must be positive"},
+		{c.ICNTBandwidthFlits > 0, "ICNTBandwidthFlits must be positive"},
+		{c.ICNTFlitBytes > 0, "ICNTFlitBytes must be positive"},
+	}
+	for _, ch := range checks {
+		if !ch.ok {
+			return fmt.Errorf("config %q: %s", c.Name, ch.msg)
+		}
+	}
+	return nil
+}
+
+// Baseline returns the Table 1 configuration: 16KB 32-set 4-way L1D.
+func Baseline() *Config {
+	return &Config{
+		Name:            "16KB(Baseline)",
+		NumSMs:          16,
+		WarpSize:        32,
+		MaxWarpsPerSM:   48,
+		SchedulersPerSM: 2,
+
+		L1D:           CacheGeom{Sets: 32, Ways: 4, LineSize: 128, Hashed: true},
+		L1DMSHRs:      32,
+		L1DMSHRMerges: 8,
+		L1DMissQueue:  8,
+		L1DHitLatency: 1,
+
+		ICNTLatency:        12,
+		ICNTFlitBytes:      32,
+		ICNTBandwidthFlits: 16,
+
+		NumPartitions: 12,
+		L2:            CacheGeom{Sets: 64, Ways: 8, LineSize: 128, Hashed: false},
+		L2MSHRs:       32,
+		L2MissQueue:   16,
+		L2HitLatency:  10,
+		DRAMBanks:     6,
+		DRAMRowHit:    16,
+		DRAMRowMiss:   32,
+		DRAMBusCycles: 4,
+
+		CoreClockMHz: 650,
+		ICNTClockMHz: 650,
+		MemClockMHz:  924,
+
+		VTAWays:        4,
+		PDPTEntries:    128,
+		PDBits:         4,
+		SampleAccesses: 200,
+		SampleInsnCap:  20000,
+	}
+}
+
+// L1D32KB doubles the L1D associativity (32KB, 8-way), everything else
+// unchanged, matching the paper's "32KB L1D cache" comparator.
+func L1D32KB() *Config {
+	c := Baseline()
+	c.Name = "32KB"
+	c.L1D.Ways = 8
+	c.VTAWays = 8
+	return c
+}
+
+// L1D64KB quadruples the L1D associativity (64KB, 16-way), used only in
+// the Figure 4/5 sensitivity study.
+func L1D64KB() *Config {
+	c := Baseline()
+	c.Name = "64KB"
+	c.L1D.Ways = 16
+	c.VTAWays = 16
+	return c
+}
+
+// ByL1DSize returns the configuration for a given L1D capacity in KB
+// (16, 32 or 64).
+func ByL1DSize(kb int) (*Config, error) {
+	switch kb {
+	case 16:
+		return Baseline(), nil
+	case 32:
+		return L1D32KB(), nil
+	case 64:
+		return L1D64KB(), nil
+	default:
+		return nil, fmt.Errorf("config: no preset for %dKB L1D", kb)
+	}
+}

@@ -1,0 +1,159 @@
+package config
+
+import "testing"
+
+func TestBaselineMatchesTable1(t *testing.T) {
+	c := Baseline()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+	if c.NumSMs != 16 {
+		t.Errorf("NumSMs = %d, want 16", c.NumSMs)
+	}
+	if c.WarpSize != 32 {
+		t.Errorf("WarpSize = %d, want 32", c.WarpSize)
+	}
+	if c.MaxWarpsPerSM != 48 {
+		t.Errorf("MaxWarpsPerSM = %d, want 48", c.MaxWarpsPerSM)
+	}
+	if c.SchedulersPerSM != 2 {
+		t.Errorf("SchedulersPerSM = %d, want 2", c.SchedulersPerSM)
+	}
+	if got := c.L1D.SizeBytes(); got != 16*1024 {
+		t.Errorf("L1D size = %d, want 16384", got)
+	}
+	if c.L1D.Sets != 32 || c.L1D.Ways != 4 {
+		t.Errorf("L1D geometry = %d sets x %d ways, want 32x4", c.L1D.Sets, c.L1D.Ways)
+	}
+	if !c.L1D.Hashed {
+		t.Error("L1D must use hashed index (Table 1)")
+	}
+	if c.L2.Hashed {
+		t.Error("L2 must use linear index (Table 1)")
+	}
+	if c.NumPartitions != 12 {
+		t.Errorf("NumPartitions = %d, want 12", c.NumPartitions)
+	}
+	// 64 sets x 8 ways x 128B = 64KB per partition x 12 partitions = 768KB.
+	if got := c.L2.SizeBytes() * c.NumPartitions; got != 768*1024 {
+		t.Errorf("total L2 = %d, want 786432", got)
+	}
+	if c.CoreClockMHz != 650 || c.ICNTClockMHz != 650 || c.MemClockMHz != 924 {
+		t.Errorf("clocks = %d/%d/%d, want 650/650/924",
+			c.CoreClockMHz, c.ICNTClockMHz, c.MemClockMHz)
+	}
+	if c.DRAMBanks != 6 {
+		t.Errorf("DRAMBanks = %d, want 6", c.DRAMBanks)
+	}
+	if c.SampleAccesses != 200 {
+		t.Errorf("SampleAccesses = %d, want 200 (paper §4.1.4)", c.SampleAccesses)
+	}
+	if c.PDPTEntries != 128 {
+		t.Errorf("PDPTEntries = %d, want 128 (paper §4.1.3)", c.PDPTEntries)
+	}
+	if c.PDBits != 4 {
+		t.Errorf("PDBits = %d, want 4 (paper §4.3)", c.PDBits)
+	}
+	if c.VTAWays != c.L1D.Ways {
+		t.Errorf("VTAWays = %d, want L1D ways %d (paper footnote 2)", c.VTAWays, c.L1D.Ways)
+	}
+}
+
+func TestVariants(t *testing.T) {
+	c32 := L1D32KB()
+	if err := c32.Validate(); err != nil {
+		t.Fatalf("32KB invalid: %v", err)
+	}
+	if got := c32.L1D.SizeBytes(); got != 32*1024 {
+		t.Errorf("32KB preset size = %d", got)
+	}
+	if c32.L1D.Sets != 32 {
+		t.Errorf("32KB must keep 32 sets (associativity doubling), got %d", c32.L1D.Sets)
+	}
+	c64 := L1D64KB()
+	if err := c64.Validate(); err != nil {
+		t.Fatalf("64KB invalid: %v", err)
+	}
+	if got := c64.L1D.SizeBytes(); got != 64*1024 {
+		t.Errorf("64KB preset size = %d", got)
+	}
+	if c64.L1D.Ways != 16 {
+		t.Errorf("64KB ways = %d, want 16", c64.L1D.Ways)
+	}
+}
+
+func TestByL1DSize(t *testing.T) {
+	for _, kb := range []int{16, 32, 64} {
+		c, err := ByL1DSize(kb)
+		if err != nil {
+			t.Fatalf("ByL1DSize(%d): %v", kb, err)
+		}
+		if got := c.L1D.SizeBytes(); got != kb*1024 {
+			t.Errorf("ByL1DSize(%d) size = %d", kb, got)
+		}
+	}
+	if _, err := ByL1DSize(48); err == nil {
+		t.Error("ByL1DSize(48) should fail")
+	}
+}
+
+func TestValidateCatchesEachField(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.NumSMs = 0 },
+		func(c *Config) { c.WarpSize = -1 },
+		func(c *Config) { c.MaxWarpsPerSM = 0 },
+		func(c *Config) { c.SchedulersPerSM = 0 },
+		func(c *Config) { c.L1D.Sets = 33 },
+		func(c *Config) { c.L1D.Ways = 0 },
+		func(c *Config) { c.L1D.LineSize = 100 },
+		func(c *Config) { c.L1DMSHRs = 0 },
+		func(c *Config) { c.L1DMSHRMerges = 0 },
+		func(c *Config) { c.L1DMissQueue = 0 },
+		func(c *Config) { c.NumPartitions = 0 },
+		func(c *Config) { c.L2.Sets = 63 },
+		func(c *Config) { c.L2.Ways = 0 },
+		func(c *Config) { c.L2.LineSize = 64 },
+		func(c *Config) { c.DRAMBanks = 0 },
+		func(c *Config) { c.CoreClockMHz = 0 },
+		func(c *Config) { c.VTAWays = 0 },
+		func(c *Config) { c.PDPTEntries = 0 },
+		func(c *Config) { c.PDBits = 0 },
+		func(c *Config) { c.PDBits = 17 },
+		func(c *Config) { c.SampleAccesses = 0 },
+		func(c *Config) { c.SampleInsnCap = 0 },
+		func(c *Config) { c.ICNTBandwidthFlits = 0 },
+		func(c *Config) { c.ICNTFlitBytes = 0 },
+	}
+	for i, mut := range mutations {
+		c := Baseline()
+		mut(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d not caught by Validate", i)
+		}
+	}
+}
+
+func TestMaxPD(t *testing.T) {
+	c := Baseline()
+	if got := c.MaxPD(); got != 15 {
+		t.Errorf("MaxPD = %d, want 15 for a 4-bit field", got)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	want := map[Policy]string{
+		PolicyBaseline:         "Baseline",
+		PolicyStallBypass:      "Stall-Bypass",
+		PolicyGlobalProtection: "Global-Protection",
+		PolicyDLP:              "DLP",
+		Policy(99):             "Policy(99)",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("Policy(%d).String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+	if got := len(AllPolicies()); got != 4 {
+		t.Errorf("AllPolicies() has %d entries, want 4", got)
+	}
+}

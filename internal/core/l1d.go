@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// L1D is one SM's L1 data cache, running under one of the four evaluated
+// policies. The SM's LD/ST unit calls Access; the engine drains outgoing
+// fetches with PopOutgoing and delivers network responses with OnResponse.
+// Completed loads are handed back to the SM through the deliver callback.
+type L1D struct {
+	cfg    *config.Config
+	policy config.Policy
+	mapper *addr.Mapper
+	ta     *cache.TagArray
+	mshr   *cache.MSHR
+	missQ  *cache.FIFO // fetches for misses that reserved a line
+	bypsQ  *cache.FIFO // bypassed fetches and write-through stores (never stalls)
+
+	vta     *VTA
+	pdpt    *PDPT
+	sampler *Sampler
+
+	st   *stats.Stats
+	seen map[uint64]bool // line IDs ever requested, for compulsory-miss accounting
+
+	deliver func(*mem.Request)
+	hitQ    []hitResponse
+	now     uint64
+}
+
+type hitResponse struct {
+	readyAt uint64
+	req     *mem.Request
+}
+
+// NewL1D builds an L1D for cfg under the given policy. deliver is invoked
+// once per completed load request (hit, fill, or bypass response).
+func NewL1D(cfg *config.Config, policy config.Policy, deliver func(*mem.Request)) *L1D {
+	kind := addr.LinearIndex
+	if cfg.L1D.Hashed {
+		kind = addr.HashIndex
+	}
+	m := addr.MustMapper(cfg.L1D.LineSize, cfg.L1D.Sets, kind)
+	c := &L1D{
+		cfg:     cfg,
+		policy:  policy,
+		mapper:  m,
+		ta:      cache.NewTagArray(m, cfg.L1D.Ways),
+		mshr:    cache.NewMSHR(cfg.L1DMSHRs, cfg.L1DMSHRMerges),
+		missQ:   cache.NewFIFO(cfg.L1DMissQueue),
+		bypsQ:   cache.NewFIFO(0),
+		st:      &stats.Stats{},
+		seen:    make(map[uint64]bool),
+		deliver: deliver,
+	}
+	if c.protectionEnabled() {
+		c.vta = NewVTA(cfg.L1D.Sets, cfg.VTAWays)
+		c.sampler = NewSampler(cfg.SampleAccesses, cfg.SampleInsnCap)
+		if policy == config.PolicyDLP {
+			c.pdpt = NewPDPT(cfg.PDPTEntries, cfg.VTAWays, cfg.MaxPD())
+		} else {
+			c.pdpt = NewGlobalPDT(cfg.VTAWays, cfg.MaxPD())
+		}
+	}
+	return c
+}
+
+func (c *L1D) protectionEnabled() bool {
+	return c.policy == config.PolicyGlobalProtection || c.policy == config.PolicyDLP
+}
+
+// Stats returns the cache's counters.
+func (c *L1D) Stats() *stats.Stats { return c.st }
+
+// PDPT exposes the prediction table for tests and introspection; nil for
+// the baseline and Stall-Bypass policies.
+func (c *L1D) PDPT() *PDPT { return c.pdpt }
+
+// Tick advances the cache to cycle now and delivers hit responses whose
+// latency has elapsed.
+func (c *L1D) Tick(now uint64) {
+	c.now = now
+	n := 0
+	for _, h := range c.hitQ {
+		if h.readyAt > now {
+			break
+		}
+		c.deliver(h.req)
+		n++
+	}
+	if n > 0 {
+		c.hitQ = c.hitQ[n:]
+	}
+}
+
+// NoteInstructions feeds executed-instruction counts into the sampling
+// clock so kernels with few loads still close samples (§4.1.4).
+func (c *L1D) NoteInstructions(n uint64) {
+	if c.sampler != nil && c.sampler.NoteInstructions(n) {
+		c.pdpt.EndSample()
+	}
+}
+
+// noteAccess counts an accepted (non-stalled) access and advances the
+// sampling clock.
+func (c *L1D) noteAccess() {
+	c.st.L1DAccesses++
+	if c.sampler != nil && c.sampler.NoteAccess() {
+		c.pdpt.EndSample()
+	}
+}
+
+// decrementPLs ages every protected line in the queried set by one
+// (§4.1.1: "When a set is queried, PL values of all TDA entries belonging
+// to this set are decreased by 1").
+func (c *L1D) decrementPLs(set int) {
+	if !c.protectionEnabled() {
+		return
+	}
+	lines := c.ta.Set(set)
+	for w := range lines {
+		if lines[w].PL > 0 {
+			lines[w].PL--
+		}
+	}
+}
+
+// trackCompulsory records first-ever touches of a line.
+func (c *L1D) trackCompulsory(a addr.Addr) {
+	id := c.mapper.LineID(a)
+	if !c.seen[id] {
+		c.seen[id] = true
+		c.st.L1DCompulsory++
+	}
+}
+
+// Access presents one line-granularity request to the cache and returns
+// how it was handled. OutcomeStall means the request was not accepted and
+// the LD/ST pipeline register must retry next cycle.
+func (c *L1D) Access(req *mem.Request) mem.AccessOutcome {
+	if req.Store {
+		return c.accessStore(req)
+	}
+	set, way, res := c.ta.Probe(req.Addr)
+	switch res {
+	case cache.ProbeHit:
+		c.noteAccess()
+		c.trackCompulsory(req.Addr)
+		c.decrementPLs(set)
+		ln := &c.ta.Set(set)[way]
+		if c.protectionEnabled() {
+			// The hit is credited to the instruction that brought in or
+			// last hit the line; the line then belongs to the hitting
+			// instruction and receives its protection distance (§4.1.1).
+			c.pdpt.CreditTDA(ln.InsnID)
+			ln.InsnID = req.InsnID
+			ln.PL = c.pdpt.PD(req.InsnID)
+		}
+		c.ta.Touch(set, way)
+		c.st.L1DHits++
+		c.st.L1DTraffic++
+		c.hitQ = append(c.hitQ, hitResponse{readyAt: c.now + uint64(c.cfg.L1DHitLatency), req: req})
+		return mem.OutcomeHit
+
+	case cache.ProbeReserved:
+		e := c.mshr.Lookup(req.Addr)
+		if e == nil {
+			panic(fmt.Sprintf("core: reserved line %#x without MSHR entry", uint64(req.Addr)))
+		}
+		if !c.mshr.CanMerge(e) {
+			if c.policy == config.PolicyStallBypass {
+				return c.doBypass(req, set)
+			}
+			c.st.L1DStalls++
+			return mem.OutcomeStall
+		}
+		c.noteAccess()
+		c.trackCompulsory(req.Addr)
+		c.decrementPLs(set)
+		c.mshr.Merge(e, req)
+		c.st.L1DMisses++
+		c.st.L1DTraffic++
+		return mem.OutcomeMiss
+
+	default: // ProbeMiss
+		return c.accessMiss(req, set)
+	}
+}
+
+// accessMiss handles a load that matched nothing in the TDA.
+func (c *L1D) accessMiss(req *mem.Request, set int) mem.AccessOutcome {
+	// Structural hazards: a serviced miss needs an MSHR entry and a
+	// miss-queue slot.
+	if c.mshr.Full() || c.missQ.Full() {
+		if c.policy == config.PolicyStallBypass {
+			return c.doBypass(req, set)
+		}
+		c.st.L1DStalls++
+		return mem.OutcomeStall
+	}
+
+	victim := c.ta.VictimIn(set, c.victimEligible())
+	if victim < 0 {
+		// Every line in the set is reserved or protected.
+		switch c.policy {
+		case config.PolicyBaseline:
+			c.st.L1DStalls++
+			return mem.OutcomeStall
+		default:
+			// Stall-Bypass bypasses any stall; Global-Protection and DLP
+			// bypass the redundant miss rather than wait for a protected
+			// set (§4.1.1).
+			return c.doBypass(req, set)
+		}
+	}
+
+	c.noteAccess()
+	c.trackCompulsory(req.Addr)
+	c.decrementPLs(set)
+	c.creditVTA(req, set, true)
+
+	evicted := c.ta.Reserve(set, victim, req.Addr)
+	if evicted.Valid {
+		c.st.L1DEvictions++
+		if c.vta != nil {
+			c.vta.Insert(set, evicted.Tag, evicted.InsnID)
+		}
+	}
+	c.ta.Set(set)[victim].InsnID = req.InsnID
+	c.mshr.Allocate(req, set, victim)
+	if !c.missQ.Push(req) {
+		panic("core: miss queue full after capacity check")
+	}
+	c.st.L1DMisses++
+	c.st.L1DTraffic++
+	return mem.OutcomeMiss
+}
+
+// victimEligible returns the policy's replacement filter: protection
+// restricts victims to lines whose protected life has expired.
+func (c *L1D) victimEligible() func(*cache.Line) bool {
+	if !c.protectionEnabled() {
+		return nil
+	}
+	return func(l *cache.Line) bool { return l.PL == 0 }
+}
+
+// creditVTA looks the address up in the victim tag array and credits the
+// stored instruction on a hit. remove controls whether the entry is
+// consumed: allocating misses refetch the line so the victim entry is
+// retired; bypassed misses leave it for future reuse observations.
+func (c *L1D) creditVTA(req *mem.Request, set int, remove bool) {
+	if c.vta == nil {
+		return
+	}
+	tag := c.mapper.Tag(req.Addr)
+	if remove {
+		if id, ok := c.vta.Lookup(set, tag); ok {
+			c.pdpt.CreditVTA(id)
+			c.st.VTAHits++
+		}
+		return
+	}
+	if id, ok := c.vta.Peek(set, tag); ok {
+		c.pdpt.CreditVTA(id)
+		c.st.VTAHits++
+	}
+}
+
+// doBypass sends req around the cache. The bypass path never stalls
+// (it has its own queue sharing only the ICNT injection port).
+func (c *L1D) doBypass(req *mem.Request, set int) mem.AccessOutcome {
+	c.noteAccess()
+	c.trackCompulsory(req.Addr)
+	c.decrementPLs(set)
+	c.creditVTA(req, set, false)
+	req.Bypass = true
+	c.bypsQ.Push(req)
+	c.st.L1DBypasses++
+	return mem.OutcomeBypass
+}
+
+// accessStore implements write-through, write-no-allocate stores with
+// write-evict on hit (Fermi global-store semantics). Stores never stall
+// and never receive responses.
+func (c *L1D) accessStore(req *mem.Request) mem.AccessOutcome {
+	set, way, res := c.ta.Probe(req.Addr)
+	if res == cache.ProbeHit {
+		c.ta.Invalidate(set, way)
+	}
+	c.bypsQ.Push(req)
+	c.st.StoreAccesses++
+	return mem.OutcomeBypass
+}
+
+// PopOutgoing hands the next fetch/store packet to the interconnect, or
+// nil when nothing is pending. Serviced misses drain before the bypass
+// path.
+func (c *L1D) PopOutgoing() *mem.Request {
+	if r := c.missQ.Pop(); r != nil {
+		return r
+	}
+	return c.bypsQ.Pop()
+}
+
+// HasOutgoing reports whether PopOutgoing would return a packet.
+func (c *L1D) HasOutgoing() bool {
+	return !c.missQ.Empty() || !c.bypsQ.Empty()
+}
+
+// OnResponse accepts a returning fetch from the interconnect: bypassed
+// requests go straight to the warp; serviced misses fill their reserved
+// line and release every merged request.
+func (c *L1D) OnResponse(req *mem.Request) {
+	if req.Store {
+		panic("core: store received a response")
+	}
+	if req.Bypass {
+		c.deliver(req)
+		return
+	}
+	e := c.mshr.Release(req.Addr)
+	if e == nil {
+		panic(fmt.Sprintf("core: response for %#x without MSHR entry", uint64(req.Addr)))
+	}
+	c.ta.Fill(e.Set, e.Way)
+	ln := &c.ta.Set(e.Set)[e.Way]
+	ln.InsnID = req.InsnID
+	if c.protectionEnabled() {
+		// The line receives its instruction's protection distance when
+		// the fill lands (the access that allocated it "writes the PD
+		// value to the PL field", §4.1.1).
+		ln.PL = c.pdpt.PD(req.InsnID)
+	}
+	for _, r := range e.Requests {
+		c.deliver(r)
+	}
+}
+
+// Pending reports outstanding work: queued packets, live MSHR entries, or
+// undelivered hits. The engine uses it to detect quiescence.
+func (c *L1D) Pending() bool {
+	return c.HasOutgoing() || c.mshr.Size() > 0 || len(c.hitQ) > 0
+}

@@ -1,0 +1,52 @@
+package core
+
+import "repro/internal/config"
+
+// Overhead is the §4.3 hardware-cost model of the DLP additions relative
+// to the baseline L1D tag-and-data array.
+type Overhead struct {
+	TDAExtraBytes int     // instruction-ID + PL bits added to every TDA entry
+	VTABytes      int     // victim tag array storage
+	PDPTBytes     int     // prediction table storage
+	TotalBytes    int     // sum of the above
+	BaselineBytes int     // baseline TDA: data + tags
+	Percent       float64 // TotalBytes / BaselineBytes * 100
+}
+
+// Bit widths fixed by the paper's layout (§4.3).
+const (
+	tagBits     = 32 // address tag per VTA entry and per baseline TDA entry
+	tdaHitsBits = 8  // PDPT TDA-hits field
+	vtaHitsBits = 10 // PDPT VTA-hits field
+)
+
+// insnIDBits returns the width of the instruction-ID field: log2 of the
+// PDPT entry count (7 bits for the paper's 128 entries).
+func insnIDBits(entries int) int {
+	bits := 0
+	for v := entries - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}
+
+// ComputeOverhead evaluates the model for a configuration. With the
+// baseline configuration it reproduces the paper's numbers exactly:
+// 176 + 624 + 464 = 1264 extra bytes over a 16896-byte baseline, 7.48%.
+func ComputeOverhead(cfg *config.Config) Overhead {
+	lines := cfg.L1D.Lines()
+	vtaEntries := cfg.L1D.Sets * cfg.VTAWays
+	idBits := insnIDBits(cfg.PDPTEntries)
+
+	o := Overhead{
+		TDAExtraBytes: lines * (idBits + cfg.PDBits) / 8,
+		VTABytes:      vtaEntries * (tagBits + idBits) / 8,
+		PDPTBytes:     cfg.PDPTEntries * (idBits + tdaHitsBits + vtaHitsBits + cfg.PDBits) / 8,
+		BaselineBytes: lines * (cfg.L1D.LineSize + tagBits/8),
+	}
+	o.TotalBytes = o.TDAExtraBytes + o.VTABytes + o.PDPTBytes
+	if o.BaselineBytes > 0 {
+		o.Percent = float64(o.TotalBytes) / float64(o.BaselineBytes) * 100
+	}
+	return o
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// TestHardwareOverhead checks the §4.3 arithmetic against the paper's
+// exact numbers for the baseline configuration.
+func TestHardwareOverhead(t *testing.T) {
+	o := ComputeOverhead(config.Baseline())
+	if o.TDAExtraBytes != 176 {
+		t.Errorf("TDA extra = %d bytes, want 176", o.TDAExtraBytes)
+	}
+	if o.VTABytes != 624 {
+		t.Errorf("VTA = %d bytes, want 624", o.VTABytes)
+	}
+	if o.PDPTBytes != 464 {
+		t.Errorf("PDPT = %d bytes, want 464", o.PDPTBytes)
+	}
+	if o.TotalBytes != 1264 {
+		t.Errorf("total = %d bytes, want 1264", o.TotalBytes)
+	}
+	if o.BaselineBytes != 16896 {
+		t.Errorf("baseline = %d bytes, want 16896", o.BaselineBytes)
+	}
+	if math.Abs(o.Percent-7.48) > 0.01 {
+		t.Errorf("overhead = %.3f%%, want 7.48%%", o.Percent)
+	}
+}
+
+func TestInsnIDBits(t *testing.T) {
+	cases := map[int]int{128: 7, 64: 6, 2: 1, 1: 0, 100: 7}
+	for entries, want := range cases {
+		if got := insnIDBits(entries); got != want {
+			t.Errorf("insnIDBits(%d) = %d, want %d", entries, got, want)
+		}
+	}
+}
+
+func TestOverheadScalesWithAssociativity(t *testing.T) {
+	base := ComputeOverhead(config.Baseline())
+	big := ComputeOverhead(config.L1D32KB())
+	if big.TDAExtraBytes != 2*base.TDAExtraBytes {
+		t.Errorf("TDA extra did not double: %d vs %d", big.TDAExtraBytes, base.TDAExtraBytes)
+	}
+	if big.VTABytes != 2*base.VTABytes {
+		t.Errorf("VTA did not double: %d vs %d", big.VTABytes, base.VTABytes)
+	}
+	if big.PDPTBytes != base.PDPTBytes {
+		t.Errorf("PDPT size should not depend on cache size: %d vs %d", big.PDPTBytes, base.PDPTBytes)
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+// PDPT is the Protection Distance Prediction Table (§4.1.3): one entry
+// per memory-instruction ID, each accumulating TDA and VTA hits over the
+// current sampling period and holding the instruction's current
+// protection distance.
+//
+// The same structure, restricted to a single shared entry, implements the
+// Global-Protection comparator (§5.3): construct it with NewGlobalPDT.
+type PDPT struct {
+	global  bool // Global-Protection mode: one PD for all instructions
+	nasc    int  // VTA associativity, the paper's Nasc
+	maxPD   int  // saturation value of the PD field (2^PDBits - 1)
+	tdaHits []uint64
+	vtaHits []uint64
+	pd      []int
+
+	globalTDA uint64
+	globalVTA uint64
+	samples   uint64 // completed sampling periods, for introspection
+}
+
+// NewPDPT builds a per-instruction table with entries slots (the paper
+// uses 128), Nasc = nasc and a PD field saturating at maxPD.
+func NewPDPT(entries, nasc, maxPD int) *PDPT {
+	if entries <= 0 || nasc <= 0 || maxPD <= 0 {
+		panic("core: invalid PDPT parameters")
+	}
+	return &PDPT{
+		nasc:    nasc,
+		maxPD:   maxPD,
+		tdaHits: make([]uint64, entries),
+		vtaHits: make([]uint64, entries),
+		pd:      make([]int, entries),
+	}
+}
+
+// NewGlobalPDT builds the Global-Protection variant: a single PD driven
+// only by the global hit counters.
+func NewGlobalPDT(nasc, maxPD int) *PDPT {
+	p := NewPDPT(1, nasc, maxPD)
+	p.global = true
+	return p
+}
+
+func (p *PDPT) idx(insnID uint8) int {
+	if p.global {
+		return 0
+	}
+	return int(insnID) % len(p.pd)
+}
+
+// CreditTDA records a tag-and-data-array hit attributed to insnID.
+func (p *PDPT) CreditTDA(insnID uint8) {
+	p.tdaHits[p.idx(insnID)]++
+	p.globalTDA++
+}
+
+// CreditVTA records a victim-tag-array hit attributed to insnID.
+func (p *PDPT) CreditVTA(insnID uint8) {
+	p.vtaHits[p.idx(insnID)]++
+	p.globalVTA++
+}
+
+// PD returns the current protection distance for insnID.
+func (p *PDPT) PD(insnID uint8) int { return p.pd[p.idx(insnID)] }
+
+// Samples returns the number of completed sampling periods.
+func (p *PDPT) Samples() uint64 { return p.samples }
+
+// GlobalHits returns the running global TDA and VTA hit counters of the
+// current sample, for tests and introspection.
+func (p *PDPT) GlobalHits() (tda, vta uint64) { return p.globalTDA, p.globalVTA }
+
+// stepAdj implements the paper's shift-based step comparison (§4.2): it
+// approximates Nasc * floor(HitVTA/HitTDA) by comparing HitVTA against
+// 4x, 2x, 1x and 1/2x HitTDA, capping the increment at 4*Nasc. An
+// instruction with no VTA hits gets no increment.
+func stepAdj(vta, tda uint64, nasc int) int {
+	if vta == 0 {
+		return 0
+	}
+	switch {
+	case vta >= 4*tda:
+		return 4 * nasc
+	case vta >= 2*tda:
+		return 2 * nasc
+	case vta >= tda:
+		return nasc
+	case 2*vta >= tda:
+		return nasc / 2
+	default:
+		return 0
+	}
+}
+
+// EndSample closes the current sampling period and recomputes protection
+// distances following Figure 9:
+//
+//   - global VTA hits > global TDA hits: increase each instruction's PD
+//     by Nasc * step(HitVTA/HitTDA) (per-PC on the left path);
+//   - global VTA hits < 1/2 global TDA hits: decrease every PD by Nasc
+//     (globally, right path);
+//   - otherwise leave PDs unchanged.
+//
+// All per-instruction and global hit counters reset afterwards.
+func (p *PDPT) EndSample() {
+	switch {
+	case p.globalVTA > p.globalTDA:
+		for i := range p.pd {
+			adj := stepAdj(p.vtaHits[i], p.tdaHits[i], p.nasc)
+			if p.global {
+				// Global-Protection: the single PD follows the global
+				// ratio, not a per-instruction one.
+				adj = stepAdj(p.globalVTA, p.globalTDA, p.nasc)
+			}
+			p.pd[i] = min(p.pd[i]+adj, p.maxPD)
+		}
+	case 2*p.globalVTA < p.globalTDA:
+		for i := range p.pd {
+			p.pd[i] = max(p.pd[i]-p.nasc, 0)
+		}
+	}
+	for i := range p.tdaHits {
+		p.tdaHits[i] = 0
+		p.vtaHits[i] = 0
+	}
+	p.globalTDA = 0
+	p.globalVTA = 0
+	p.samples++
+}
+
+// Sampler counts L1D accesses and SM instructions to decide when a
+// sampling period ends (§4.1.4): after accessLimit cache accesses, or —
+// so that cache-sufficient kernels with few loads still close samples —
+// after insnCap instructions.
+type Sampler struct {
+	accessLimit uint64
+	insnCap     uint64
+	accesses    uint64
+	insns       uint64
+}
+
+// NewSampler builds a sampler with the paper's access limit (200) and an
+// instruction cap.
+func NewSampler(accessLimit, insnCap int) *Sampler {
+	if accessLimit <= 0 || insnCap <= 0 {
+		panic("core: invalid sampler parameters")
+	}
+	return &Sampler{accessLimit: uint64(accessLimit), insnCap: uint64(insnCap)}
+}
+
+// NoteAccess records one cache access and reports whether the sample just
+// closed.
+func (s *Sampler) NoteAccess() bool {
+	s.accesses++
+	if s.accesses >= s.accessLimit {
+		s.reset()
+		return true
+	}
+	return false
+}
+
+// NoteInstructions records n executed instructions and reports whether
+// the instruction cap closed the sample.
+func (s *Sampler) NoteInstructions(n uint64) bool {
+	s.insns += n
+	if s.insns >= s.insnCap {
+		s.reset()
+		return true
+	}
+	return false
+}
+
+func (s *Sampler) reset() {
+	s.accesses = 0
+	s.insns = 0
+}

@@ -1,0 +1,117 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+// equalClocks builds a channel where mem and core clocks match, so cycle
+// arithmetic is directly checkable.
+func equalClocks(banks int) *Channel {
+	return New(banks, 10, 40, 4, 1000, 1000, 1)
+}
+
+func TestNewPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero banks")
+		}
+	}()
+	New(0, 10, 40, 4, 650, 924, 1)
+}
+
+func TestFirstAccessPaysRowMiss(t *testing.T) {
+	c := equalClocks(4)
+	done := c.Access(0, 128, 0)
+	// Row miss (40) + bus (4).
+	if done != 44 {
+		t.Errorf("first access done at %d, want 44", done)
+	}
+}
+
+func TestRowBufferHit(t *testing.T) {
+	c := equalClocks(4)
+	c.Access(0, 128, 0)
+	// Same bank (line 0 and line 4 both map to bank 0), same row.
+	done := c.Access(4*128, 128, 0)
+	// Bank busy until 40, then row hit 10, bus from 50: done 54.
+	if done != 54 {
+		t.Errorf("row-hit access done at %d, want 54", done)
+	}
+}
+
+func TestRowConflict(t *testing.T) {
+	c := equalClocks(1)
+	c.Access(0, 128, 0) // opens row 0, bank busy until 40
+	// Line 16 in bank 0 is row 1: conflict.
+	done := c.Access(16*128, 128, 0)
+	// Start at 40, row miss 40 -> 80, bus 4 -> 84.
+	if done != 84 {
+		t.Errorf("row-conflict access done at %d, want 84", done)
+	}
+}
+
+func TestBankParallelism(t *testing.T) {
+	c := equalClocks(2)
+	d0 := c.Access(0, 128, 0)   // bank 0
+	d1 := c.Access(128, 128, 0) // bank 1, overlaps bank 0
+	if d0 != 44 {
+		t.Errorf("bank0 done at %d", d0)
+	}
+	// Bank 1 row access overlaps; only the shared bus serializes:
+	// ready at 40, bus busy until 44, transfer 44->48.
+	if d1 != 48 {
+		t.Errorf("bank1 done at %d, want 48 (bus serialized)", d1)
+	}
+}
+
+func TestClockDomainConversion(t *testing.T) {
+	// Core 650, mem 924 (Table 1): a 924-mem-cycle operation spans 650
+	// core cycles.
+	c := New(1, 920, 920, 4, 650, 924, 1)
+	done := c.Access(0, 128, 0)
+	// 924 mem cycles -> ceil(924*650/924) = 650 core cycles.
+	if done != 650 {
+		t.Errorf("924 mem cycles = %d core cycles, want 650", done)
+	}
+}
+
+func TestMonotonicCompletionPerBank(t *testing.T) {
+	f := func(lines []uint16, gaps []uint8) bool {
+		c := New(6, 18, 60, 4, 650, 924, 1)
+		now := uint64(0)
+		bankDone := map[uint64]uint64{}
+		for i, ln := range lines {
+			if i < len(gaps) {
+				now += uint64(gaps[i])
+			}
+			a := addr.Addr(uint64(ln) * 128)
+			bankID := (uint64(ln)) % 6
+			done := c.Access(a, 128, now)
+			if done <= now {
+				return false // completion can never precede issue
+			}
+			if done < bankDone[bankID] {
+				return false // per-bank completions must be ordered
+			}
+			bankDone[bankID] = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBusyUntil(t *testing.T) {
+	c := equalClocks(2)
+	if c.BusyUntil() != 0 {
+		t.Errorf("fresh channel busy until %d", c.BusyUntil())
+	}
+	done := c.Access(0, 128, 0)
+	if got := c.BusyUntil(); got < done {
+		t.Errorf("BusyUntil %d < completion %d", got, done)
+	}
+}

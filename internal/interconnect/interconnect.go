@@ -1,0 +1,163 @@
+// Package interconnect models the crossbar between the SM L1D caches and
+// the memory partitions: fixed one-way latency, bounded per-cycle flit
+// bandwidth in each direction, and flit accounting for the paper's
+// Figure 13 interconnect-traffic metric.
+//
+// Besides L1D packets, real GPUs route L1I/L1C/L1T traffic over the same
+// network; the paper notes (§6.4) this damps the relative traffic
+// reduction from L1D bypassing. Callers model that with
+// AddBackgroundFlits, which contributes to the traffic counters without
+// occupying data bandwidth.
+package interconnect
+
+import (
+	"container/heap"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Direction selects a network direction.
+type Direction int
+
+const (
+	// ToMem carries requests from the SMs to the memory partitions.
+	ToMem Direction = iota
+	// ToCore carries responses back to the SMs.
+	ToCore
+)
+
+type packet struct {
+	req      *mem.Request
+	arriveAt uint64
+	seq      uint64 // tie-break for deterministic ordering
+}
+
+type packetHeap []packet
+
+func (h packetHeap) Len() int { return len(h) }
+func (h packetHeap) Less(i, j int) bool {
+	if h[i].arriveAt != h[j].arriveAt {
+		return h[i].arriveAt < h[j].arriveAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h packetHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *packetHeap) Push(x interface{}) { *h = append(*h, x.(packet)) }
+func (h *packetHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+type direction struct {
+	waiting  []*mem.Request // injection queue, unbounded
+	inFlight packetHeap
+	budget   int // flits remaining this cycle
+}
+
+// Network is the crossbar. The engine calls Tick once per ICNT cycle,
+// Push to inject packets, and PopArrived to collect deliveries.
+type Network struct {
+	latency   uint64
+	bandwidth int // flits per cycle per direction
+	flitBytes int
+	lineSize  int
+	dirs      [2]direction
+	now       uint64
+	seq       uint64
+	st        *stats.Stats
+}
+
+// New builds a network with the given one-way latency (cycles), per-cycle
+// per-direction flit bandwidth, flit size and cache line size (bytes).
+func New(latency, bandwidth, flitBytes, lineSize int, st *stats.Stats) *Network {
+	if latency < 0 || bandwidth <= 0 || flitBytes <= 0 || lineSize <= 0 {
+		panic("interconnect: invalid parameters")
+	}
+	n := &Network{
+		latency:   uint64(latency),
+		bandwidth: bandwidth,
+		flitBytes: flitBytes,
+		lineSize:  lineSize,
+		st:        st,
+	}
+	n.dirs[ToMem].budget = bandwidth
+	n.dirs[ToCore].budget = bandwidth
+	return n
+}
+
+// FlitsFor returns the flit count of a packet: one header/control flit,
+// plus data flits when the packet carries a cache line (stores toward
+// memory, load responses toward the core).
+func (n *Network) FlitsFor(req *mem.Request, dir Direction) int {
+	carriesData := (dir == ToMem && req.Store) || (dir == ToCore && !req.Store)
+	if !carriesData {
+		return 1
+	}
+	return 1 + (n.lineSize+n.flitBytes-1)/n.flitBytes
+}
+
+// Tick advances the network to cycle now, refreshing per-direction
+// bandwidth budgets and injecting waiting packets in FIFO order until the
+// budget runs out.
+func (n *Network) Tick(now uint64) {
+	n.now = now
+	for d := range n.dirs {
+		dir := &n.dirs[d]
+		dir.budget = n.bandwidth
+		for len(dir.waiting) > 0 {
+			req := dir.waiting[0]
+			flits := n.FlitsFor(req, Direction(d))
+			if flits > dir.budget {
+				break
+			}
+			dir.budget -= flits
+			n.countFlits(req, flits)
+			n.seq++
+			heap.Push(&dir.inFlight, packet{req: req, arriveAt: now + n.latency, seq: n.seq})
+			copy(dir.waiting, dir.waiting[1:])
+			dir.waiting[len(dir.waiting)-1] = nil
+			dir.waiting = dir.waiting[:len(dir.waiting)-1]
+		}
+	}
+}
+
+func (n *Network) countFlits(req *mem.Request, flits int) {
+	n.st.ICNTFlits += uint64(flits)
+	n.st.ICNTDataFlits += uint64(flits)
+	_ = req
+}
+
+// Push enqueues a packet for injection in the given direction.
+func (n *Network) Push(dir Direction, req *mem.Request) {
+	n.dirs[dir].waiting = append(n.dirs[dir].waiting, req)
+}
+
+// PopArrived returns the next packet that has completed its flight in the
+// given direction, or nil.
+func (n *Network) PopArrived(dir Direction) *mem.Request {
+	d := &n.dirs[dir]
+	if len(d.inFlight) == 0 || d.inFlight[0].arriveAt > n.now {
+		return nil
+	}
+	return heap.Pop(&d.inFlight).(packet).req
+}
+
+// AddBackgroundFlits accounts traffic from the other L1 caches (L1I, L1C,
+// L1T) sharing the crossbar. It affects only the traffic counters.
+func (n *Network) AddBackgroundFlits(flits uint64) {
+	n.st.ICNTFlits += flits
+}
+
+// Pending reports whether any packet is waiting or in flight.
+func (n *Network) Pending() bool {
+	for d := range n.dirs {
+		if len(n.dirs[d].waiting) > 0 || len(n.dirs[d].inFlight) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,161 @@
+package interconnect
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+func newNet(latency, bw int) (*Network, *stats.Stats) {
+	st := &stats.Stats{}
+	return New(latency, bw, 32, 128, st), st
+}
+
+func TestNewPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero bandwidth")
+		}
+	}()
+	New(10, 0, 32, 128, &stats.Stats{})
+}
+
+func TestFlitsFor(t *testing.T) {
+	n, _ := newNet(10, 16)
+	load := &mem.Request{}
+	store := &mem.Request{Store: true}
+	// Load request to memory: header only.
+	if got := n.FlitsFor(load, ToMem); got != 1 {
+		t.Errorf("load->mem flits = %d, want 1", got)
+	}
+	// Load response to core: header + 128/32 data flits.
+	if got := n.FlitsFor(load, ToCore); got != 5 {
+		t.Errorf("load->core flits = %d, want 5", got)
+	}
+	// Store to memory carries the line.
+	if got := n.FlitsFor(store, ToMem); got != 5 {
+		t.Errorf("store->mem flits = %d, want 5", got)
+	}
+	// Stores never travel back, but the accounting is header-only.
+	if got := n.FlitsFor(store, ToCore); got != 1 {
+		t.Errorf("store->core flits = %d, want 1", got)
+	}
+}
+
+func TestLatencyRespected(t *testing.T) {
+	n, _ := newNet(10, 16)
+	r := &mem.Request{ID: 1}
+	n.Push(ToMem, r)
+	n.Tick(5) // injected at cycle 5, arrives at 15
+	for now := uint64(6); now < 15; now++ {
+		n.Tick(now)
+		if got := n.PopArrived(ToMem); got != nil {
+			t.Fatalf("packet arrived early at cycle %d", now)
+		}
+	}
+	n.Tick(15)
+	if got := n.PopArrived(ToMem); got != r {
+		t.Fatal("packet did not arrive at latency boundary")
+	}
+	if got := n.PopArrived(ToMem); got != nil {
+		t.Fatal("duplicate arrival")
+	}
+}
+
+func TestBandwidthLimitsInjection(t *testing.T) {
+	// Responses are 5 flits; with bandwidth 8 only one response can inject
+	// per cycle.
+	n, _ := newNet(1, 8)
+	r1, r2 := &mem.Request{ID: 1}, &mem.Request{ID: 2}
+	n.Push(ToCore, r1)
+	n.Push(ToCore, r2)
+	n.Tick(0) // only r1 fits (5 <= 8, then 5 > 3)
+	n.Tick(1) // r2 injected; r1 arrives
+	if got := n.PopArrived(ToCore); got != r1 {
+		t.Fatal("r1 not delivered first")
+	}
+	if got := n.PopArrived(ToCore); got != nil {
+		t.Fatal("r2 delivered too early despite bandwidth limit")
+	}
+	n.Tick(2)
+	if got := n.PopArrived(ToCore); got != r2 {
+		t.Fatal("r2 not delivered after bandwidth delay")
+	}
+}
+
+func TestDirectionsIndependent(t *testing.T) {
+	n, _ := newNet(1, 16)
+	req := &mem.Request{ID: 1}
+	resp := &mem.Request{ID: 2}
+	n.Push(ToMem, req)
+	n.Push(ToCore, resp)
+	n.Tick(0)
+	n.Tick(1)
+	if got := n.PopArrived(ToMem); got != req {
+		t.Error("request direction broken")
+	}
+	if got := n.PopArrived(ToCore); got != resp {
+		t.Error("response direction broken")
+	}
+}
+
+func TestFlitAccounting(t *testing.T) {
+	n, st := newNet(1, 100)
+	n.Push(ToMem, &mem.Request{})            // 1 flit
+	n.Push(ToMem, &mem.Request{Store: true}) // 5 flits
+	n.Push(ToCore, &mem.Request{})           // 5 flits
+	n.Tick(0)
+	if st.ICNTFlits != 11 {
+		t.Errorf("ICNTFlits = %d, want 11", st.ICNTFlits)
+	}
+	if st.ICNTDataFlits != 11 {
+		t.Errorf("ICNTDataFlits = %d, want 11", st.ICNTDataFlits)
+	}
+	n.AddBackgroundFlits(7)
+	if st.ICNTFlits != 18 {
+		t.Errorf("ICNTFlits after background = %d, want 18", st.ICNTFlits)
+	}
+	if st.ICNTDataFlits != 11 {
+		t.Errorf("background flits leaked into data flits: %d", st.ICNTDataFlits)
+	}
+}
+
+func TestFIFOOrderPreservedWithinDirection(t *testing.T) {
+	n, _ := newNet(3, 1000)
+	var pushed []*mem.Request
+	for i := 0; i < 20; i++ {
+		r := &mem.Request{ID: uint64(i)}
+		pushed = append(pushed, r)
+		n.Push(ToMem, r)
+	}
+	n.Tick(0)
+	n.Tick(3)
+	for i := 0; i < 20; i++ {
+		got := n.PopArrived(ToMem)
+		if got != pushed[i] {
+			t.Fatalf("arrival %d out of order", i)
+		}
+	}
+}
+
+func TestPending(t *testing.T) {
+	n, _ := newNet(2, 16)
+	if n.Pending() {
+		t.Error("fresh network pending")
+	}
+	r := &mem.Request{}
+	n.Push(ToMem, r)
+	if !n.Pending() {
+		t.Error("waiting packet not pending")
+	}
+	n.Tick(0)
+	if !n.Pending() {
+		t.Error("in-flight packet not pending")
+	}
+	n.Tick(2)
+	n.PopArrived(ToMem)
+	if n.Pending() {
+		t.Error("drained network still pending")
+	}
+}

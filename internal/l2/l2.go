@@ -1,0 +1,216 @@
+// Package l2 models one memory partition's L2 cache slice: a linear-
+// indexed set-associative write-back cache servicing one request per
+// cycle, with outstanding-miss merging and a GDDR5 DRAM channel behind
+// it (Table 1: 12 partitions, 64 sets x 8 ways x 128B each).
+package l2
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+type event struct {
+	readyAt uint64
+	req     *mem.Request
+	fill    bool // true: DRAM fill completion; false: response ready to send
+	seq     uint64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].readyAt != h[j].readyAt {
+		return h[i].readyAt < h[j].readyAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Partition is one L2 slice plus its DRAM channel.
+type Partition struct {
+	ta         *cache.TagArray
+	mapper     *addr.Mapper
+	mshr       map[addr.Addr][]*mem.Request
+	maxMSHRs   int
+	inQ        []*mem.Request
+	events     eventHeap
+	responses  []*mem.Request
+	dram       *dram.Channel
+	hitLatency uint64
+	st         *stats.Stats
+	now        uint64
+	seq        uint64
+}
+
+// New builds a partition from the configuration.
+func New(cfg *config.Config, st *stats.Stats) *Partition {
+	kind := addr.LinearIndex
+	if cfg.L2.Hashed {
+		kind = addr.HashIndex
+	}
+	m, err := addr.NewPartitionedMapper(cfg.L2.LineSize, cfg.L2.Sets, kind, cfg.NumPartitions)
+	if err != nil {
+		panic(err)
+	}
+	return &Partition{
+		ta:       cache.NewTagArray(m, cfg.L2.Ways),
+		mapper:   m,
+		mshr:     make(map[addr.Addr][]*mem.Request),
+		maxMSHRs: cfg.L2MSHRs,
+		dram: dram.New(cfg.DRAMBanks, cfg.DRAMRowHit, cfg.DRAMRowMiss,
+			cfg.DRAMBusCycles, cfg.CoreClockMHz, cfg.MemClockMHz, cfg.NumPartitions),
+		hitLatency: uint64(cfg.L2HitLatency),
+		st:         st,
+	}
+}
+
+// Enqueue accepts a request delivered by the interconnect.
+func (p *Partition) Enqueue(req *mem.Request) {
+	p.inQ = append(p.inQ, req)
+}
+
+// Tick advances the partition to cycle now: completes due DRAM fills,
+// then services one new request from the input queue.
+func (p *Partition) Tick(now uint64) {
+	p.now = now
+	for len(p.events) > 0 && p.events[0].readyAt <= now {
+		ev := heap.Pop(&p.events).(event)
+		if ev.fill {
+			p.completeFill(ev.req)
+		} else {
+			p.responses = append(p.responses, ev.req)
+		}
+	}
+	if len(p.inQ) > 0 {
+		if p.service(p.inQ[0]) {
+			copy(p.inQ, p.inQ[1:])
+			p.inQ[len(p.inQ)-1] = nil
+			p.inQ = p.inQ[:len(p.inQ)-1]
+		}
+	}
+}
+
+// service attempts to handle one request; false means retry next cycle.
+func (p *Partition) service(req *mem.Request) bool {
+	if req.Store {
+		p.serviceStore(req)
+		return true
+	}
+	p.st.L2Accesses++
+	set, way, res := p.ta.Probe(req.Addr)
+	switch res {
+	case cache.ProbeHit:
+		p.st.L2Hits++
+		p.ta.Touch(set, way)
+		p.schedule(req, p.now+p.hitLatency, false)
+		return true
+	case cache.ProbeReserved:
+		// Merge onto the outstanding fetch; the fill completion responds
+		// to every merged request.
+		p.st.L2Misses++
+		p.mshr[req.Addr] = append(p.mshr[req.Addr], req)
+		return true
+	default:
+		if len(p.mshr) >= p.maxMSHRs {
+			p.st.L2Accesses-- // not serviced; retry without double-counting
+			return false
+		}
+		victim := p.ta.VictimIn(set, nil)
+		if victim < 0 {
+			p.st.L2Accesses--
+			return false
+		}
+		p.st.L2Misses++
+		evicted := p.ta.Reserve(set, victim, req.Addr)
+		if evicted.Valid && evicted.Dirty {
+			p.writeback(evicted, set)
+		}
+		p.mshr[req.Addr] = []*mem.Request{req}
+		done := p.dram.Access(req.Addr, p.mapper.LineSize(), p.now)
+		p.st.DRAMReads++
+		p.schedule(req, done, true)
+		return true
+	}
+}
+
+func (p *Partition) serviceStore(req *mem.Request) {
+	p.st.L2Accesses++
+	set, way, res := p.ta.Probe(req.Addr)
+	if res == cache.ProbeHit {
+		// Write-back: absorb the store, mark dirty.
+		p.st.L2Hits++
+		lines := p.ta.Set(set)
+		lines[way].Dirty = true
+		p.ta.Touch(set, way)
+		return
+	}
+	// Write-no-allocate on miss (and on in-flight lines): forward to DRAM.
+	p.st.L2Misses++
+	p.dram.Access(req.Addr, p.mapper.LineSize(), p.now)
+	p.st.DRAMWrites++
+}
+
+// writeback sends a dirty victim to DRAM.
+func (p *Partition) writeback(evicted cache.Line, set int) {
+	// Reconstruct the line address from the tag (tag == full line number).
+	lineAddr := addr.Addr(evicted.Tag * uint64(p.mapper.LineSize()))
+	p.dram.Access(lineAddr, p.mapper.LineSize(), p.now)
+	p.st.DRAMWrites++
+	_ = set
+}
+
+// completeFill lands a DRAM read: fill the reserved line and release all
+// merged requests as responses.
+func (p *Partition) completeFill(req *mem.Request) {
+	waiters := p.mshr[req.Addr]
+	if waiters == nil {
+		panic(fmt.Sprintf("l2: fill for %#x without MSHR entry", uint64(req.Addr)))
+	}
+	delete(p.mshr, req.Addr)
+	set, way, res := p.ta.Probe(req.Addr)
+	if res != cache.ProbeReserved {
+		panic(fmt.Sprintf("l2: fill for %#x but line not reserved (%v)", uint64(req.Addr), res))
+	}
+	p.ta.Fill(set, way)
+	p.responses = append(p.responses, waiters...)
+}
+
+func (p *Partition) schedule(req *mem.Request, at uint64, fill bool) {
+	p.seq++
+	heap.Push(&p.events, event{readyAt: at, req: req, fill: fill, seq: p.seq})
+}
+
+// PopResponse returns the next load response ready to travel back to the
+// core, or nil.
+func (p *Partition) PopResponse() *mem.Request {
+	if len(p.responses) == 0 {
+		return nil
+	}
+	r := p.responses[0]
+	copy(p.responses, p.responses[1:])
+	p.responses[len(p.responses)-1] = nil
+	p.responses = p.responses[:len(p.responses)-1]
+	return r
+}
+
+// Pending reports whether the partition still has queued, in-flight, or
+// undelivered work.
+func (p *Partition) Pending() bool {
+	return len(p.inQ) > 0 || len(p.events) > 0 || len(p.responses) > 0 || len(p.mshr) > 0
+}

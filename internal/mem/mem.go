@@ -1,0 +1,68 @@
+// Package mem defines the memory request/response types that flow between
+// the SM load/store units, the L1D caches, the interconnect, the L2
+// partitions, and the DRAM model.
+package mem
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// Request is one line-granularity memory transaction. The LD/ST unit
+// coalesces a warp memory instruction's per-lane addresses into one
+// Request per distinct cache line.
+type Request struct {
+	ID     uint64    // unique per simulation, for debugging and ordering
+	Addr   addr.Addr // line-aligned address
+	PC     uint32    // static instruction that issued the access
+	InsnID uint8     // addr.HashPC(PC), the 7-bit PDPT index
+	SM     int       // issuing streaming multiprocessor
+	Warp   int       // issuing warp slot within the SM
+	Store  bool      // true for global stores (write-through, no-allocate)
+
+	// Bypass marks a request the L1D sent around itself: the response must
+	// be delivered to the warp without filling a line.
+	Bypass bool
+}
+
+func (r *Request) String() string {
+	kind := "LD"
+	if r.Store {
+		kind = "ST"
+	}
+	return fmt.Sprintf("%s#%d addr=%#x pc=%d sm=%d warp=%d bypass=%v",
+		kind, r.ID, uint64(r.Addr), r.PC, r.SM, r.Warp, r.Bypass)
+}
+
+// AccessOutcome is what the L1D tells the LD/ST unit about one access.
+type AccessOutcome int
+
+const (
+	// OutcomeHit: data available after the hit latency.
+	OutcomeHit AccessOutcome = iota
+	// OutcomeMiss: the request was accepted (MSHR entry allocated or
+	// merged) and a response will arrive later.
+	OutcomeMiss
+	// OutcomeBypass: the request was accepted and sent around the cache;
+	// a response will arrive later and will not fill a line.
+	OutcomeBypass
+	// OutcomeStall: the cache could not accept the request this cycle; the
+	// LD/ST pipeline register stays blocked and must retry.
+	OutcomeStall
+)
+
+func (o AccessOutcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeMiss:
+		return "miss"
+	case OutcomeBypass:
+		return "bypass"
+	case OutcomeStall:
+		return "stall"
+	default:
+		return fmt.Sprintf("AccessOutcome(%d)", int(o))
+	}
+}

@@ -1,0 +1,35 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRequestString(t *testing.T) {
+	ld := &Request{ID: 7, Addr: 0x1000, PC: 3, SM: 2, Warp: 5}
+	s := ld.String()
+	for _, want := range []string{"LD#7", "0x1000", "pc=3", "sm=2", "warp=5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("load String() missing %q: %s", want, s)
+		}
+	}
+	st := &Request{ID: 8, Store: true, Bypass: true}
+	if !strings.Contains(st.String(), "ST#8") || !strings.Contains(st.String(), "bypass=true") {
+		t.Errorf("store String() = %s", st.String())
+	}
+}
+
+func TestAccessOutcomeString(t *testing.T) {
+	want := map[AccessOutcome]string{
+		OutcomeHit:        "hit",
+		OutcomeMiss:       "miss",
+		OutcomeBypass:     "bypass",
+		OutcomeStall:      "stall",
+		AccessOutcome(42): "AccessOutcome(42)",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), s)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package prng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequences diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 collisions between different seeds", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n)%100 + 1
+		s := New(seed)
+		v := s.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestUniformityRough(t *testing.T) {
+	s := New(99)
+	buckets := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		buckets[s.Intn(10)]++
+	}
+	for i, c := range buckets {
+		if c < n/10-n/100 || c > n/10+n/100 {
+			t.Errorf("bucket %d count %d far from uniform %d", i, c, n/10)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		m := int(n) % 64
+		p := New(seed).Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package rdd implements the paper's reuse-distance analysis (§3): a RD
+// is the number of accesses to a cache set between two accesses to the
+// same cache line within that set, counting the re-reference itself
+// (Figure 2: the sequence A0, A1, A2, A0 gives A0 a RD of 3). The
+// profiler replays a kernel's memory stream in the same block/warp
+// interleaving the simulator uses and produces program-level (Fig. 3) and
+// per-instruction (Fig. 7) RD distributions, plus the associativity
+// sensitivity study of Fig. 4 via an LRU cache replay.
+package rdd
+
+import (
+	"math"
+
+	"repro/internal/addr"
+	"repro/internal/config"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Buckets are the paper's four RD ranges (1–4, 5–8, 9–64, >64).
+var Buckets = [][2]int{{1, 4}, {5, 8}, {9, 64}, {65, math.MaxInt}}
+
+// BucketLabels name the ranges as in Figure 3.
+var BucketLabels = []string{"RD 1~4", "RD 5~8", "RD 9~64", "RD >65"}
+
+// Profile is the result of replaying one kernel.
+type Profile struct {
+	Global   *stats.Histogram            // all reuse distances
+	PerPC    map[uint32]*stats.Histogram // RDs keyed by the re-referencing PC
+	Accesses uint64                      // line accesses replayed
+	Reuses   uint64                      // non-compulsory accesses
+}
+
+// GlobalFractions returns the Fig. 3 bucket fractions.
+func (p *Profile) GlobalFractions() []float64 { return p.Global.Fractions(Buckets) }
+
+// PCFractions returns the Fig. 7 bucket fractions for one instruction.
+func (p *Profile) PCFractions(pc uint32) []float64 {
+	h, ok := p.PerPC[pc]
+	if !ok {
+		return make([]float64, len(Buckets))
+	}
+	return h.Fractions(Buckets)
+}
+
+// PCs returns the profiled instruction PCs in ascending order.
+func (p *Profile) PCs() []uint32 {
+	out := make([]uint32, 0, len(p.PerPC))
+	for pc := range p.PerPC {
+		out = append(out, pc)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// tracker measures RDs for one cache (one SM's L1D view).
+type tracker struct {
+	mapper     *addr.Mapper
+	setCounter []uint64
+	lastTouch  []map[uint64]uint64 // per set: tag -> counter at last access
+	prof       *Profile
+}
+
+func newTracker(geom config.CacheGeom, prof *Profile) *tracker {
+	kind := addr.LinearIndex
+	if geom.Hashed {
+		kind = addr.HashIndex
+	}
+	m := addr.MustMapper(geom.LineSize, geom.Sets, kind)
+	t := &tracker{
+		mapper:     m,
+		setCounter: make([]uint64, geom.Sets),
+		lastTouch:  make([]map[uint64]uint64, geom.Sets),
+		prof:       prof,
+	}
+	for i := range t.lastTouch {
+		t.lastTouch[i] = make(map[uint64]uint64)
+	}
+	return t
+}
+
+// access replays one line access issued by instruction pc.
+func (t *tracker) access(a addr.Addr, pc uint32) {
+	set := t.mapper.Set(a)
+	tag := t.mapper.Tag(a)
+	t.setCounter[set]++
+	now := t.setCounter[set]
+	t.prof.Accesses++
+	if last, seen := t.lastTouch[set][tag]; seen {
+		rd := int(now - last)
+		t.prof.Reuses++
+		t.prof.Global.Observe(rd)
+		h, ok := t.prof.PerPC[pc]
+		if !ok {
+			h = stats.NewHistogram()
+			t.prof.PerPC[pc] = h
+		}
+		h.Observe(rd)
+	}
+	t.lastTouch[set][tag] = now
+}
+
+// ProfileKernel replays the kernel's memory stream against numSMs
+// independent caches of the given geometry, distributing blocks
+// round-robin and interleaving warp memory instructions round-robin
+// within each SM, mirroring the simulator's dispatch.
+func ProfileKernel(k *trace.Kernel, numSMs int, geom config.CacheGeom) *Profile {
+	prof := &Profile{
+		Global: stats.NewHistogram(),
+		PerPC:  make(map[uint32]*stats.Histogram),
+	}
+	replay(k, numSMs, func(sm int) func(addr.Addr, uint32) {
+		t := newTracker(geom, prof)
+		return t.access
+	})
+	return prof
+}
+
+// lruSet is a small ordered-tag LRU set for the Fig. 4 replay.
+type lruSet struct {
+	tags []uint64 // index 0 is MRU
+}
+
+func (s *lruSet) touch(tag uint64, ways int) (hit bool) {
+	for i, t := range s.tags {
+		if t == tag {
+			copy(s.tags[1:i+1], s.tags[:i])
+			s.tags[0] = tag
+			return true
+		}
+	}
+	s.tags = append(s.tags, 0)
+	copy(s.tags[1:], s.tags)
+	s.tags[0] = tag
+	if len(s.tags) > ways {
+		s.tags = s.tags[:ways]
+	}
+	return false
+}
+
+// ReuseMissRate replays the stream through LRU caches of the given
+// geometry and returns the miss rate over non-compulsory accesses only
+// (Fig. 4 excludes compulsory misses).
+func ReuseMissRate(k *trace.Kernel, numSMs int, geom config.CacheGeom) float64 {
+	kind := addr.LinearIndex
+	if geom.Hashed {
+		kind = addr.HashIndex
+	}
+	var reuses, reuseMisses uint64
+	replay(k, numSMs, func(sm int) func(addr.Addr, uint32) {
+		m := addr.MustMapper(geom.LineSize, geom.Sets, kind)
+		sets := make([]lruSet, geom.Sets)
+		seen := make(map[uint64]bool)
+		return func(a addr.Addr, pc uint32) {
+			tag := m.Tag(a)
+			first := !seen[tag]
+			seen[tag] = true
+			hit := sets[m.Set(a)].touch(tag, geom.Ways)
+			if first {
+				return
+			}
+			reuses++
+			if !hit {
+				reuseMisses++
+			}
+		}
+	})
+	if reuses == 0 {
+		return 0
+	}
+	return float64(reuseMisses) / float64(reuses)
+}
+
+// replay walks the kernel's memory accesses in dispatch order, invoking
+// sink(sm) once per SM to obtain that SM's access function.
+func replay(k *trace.Kernel, numSMs int, sink func(sm int) func(addr.Addr, uint32)) {
+	lineSize := 128
+	perSM := make([][]*trace.Block, numSMs)
+	for i, b := range k.Blocks {
+		perSM[i%numSMs] = append(perSM[i%numSMs], b)
+	}
+	for smID, blocks := range perSM {
+		if len(blocks) == 0 {
+			continue
+		}
+		access := sink(smID)
+		for _, b := range blocks {
+			// Round-robin one memory instruction per warp per turn,
+			// approximating fine-grained multithreaded issue.
+			ptrs := make([]int, len(b.Warps))
+			remaining := 0
+			for wi, w := range b.Warps {
+				ptrs[wi] = nextMem(w, 0)
+				if ptrs[wi] < len(w.Instrs) {
+					remaining++
+				}
+			}
+			for remaining > 0 {
+				for wi, w := range b.Warps {
+					p := ptrs[wi]
+					if p >= len(w.Instrs) {
+						continue
+					}
+					in := &w.Instrs[p]
+					for _, line := range in.CoalescedLines(lineSize) {
+						access(line, in.PC)
+					}
+					ptrs[wi] = nextMem(w, p+1)
+					if ptrs[wi] >= len(w.Instrs) {
+						remaining--
+					}
+				}
+			}
+		}
+	}
+}
+
+// nextMem returns the index of the next memory instruction at or after i.
+func nextMem(w *trace.WarpTrace, i int) int {
+	for ; i < len(w.Instrs); i++ {
+		k := w.Instrs[i].Kind
+		if k == trace.Load || k == trace.Store {
+			return i
+		}
+	}
+	return i
+}

@@ -1,0 +1,207 @@
+// Package sim is the simulation engine: it wires SMs, their L1D caches,
+// the interconnect, the L2 partitions and DRAM channels into one machine,
+// dispatches a kernel's thread blocks, and steps everything cycle by
+// cycle until the kernel drains.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/config"
+	"repro/internal/interconnect"
+	"repro/internal/l2"
+	"repro/internal/sm"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Options tune engine behavior beyond the hardware configuration.
+type Options struct {
+	// MaxCycles aborts runaway simulations; 0 means the default (50M).
+	MaxCycles uint64
+	// BackgroundFlitsPerKInsn models L1I/L1C/L1T traffic sharing the
+	// interconnect (§6.4): flits added per 1000 thread instructions.
+	// Negative disables; 0 means the default (60).
+	BackgroundFlitsPerKInsn float64
+	// InjectionRate is the max packets one L1D hands to the ICNT per
+	// cycle; 0 means the default (2).
+	InjectionRate int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 50_000_000
+	}
+	if o.BackgroundFlitsPerKInsn == 0 {
+		o.BackgroundFlitsPerKInsn = 60
+	}
+	if o.BackgroundFlitsPerKInsn < 0 {
+		o.BackgroundFlitsPerKInsn = 0
+	}
+	if o.InjectionRate == 0 {
+		o.InjectionRate = 2
+	}
+	return o
+}
+
+// Engine is one simulated GPU.
+type Engine struct {
+	cfg    *config.Config
+	policy config.Policy
+	opts   Options
+
+	sms   []*sm.SM
+	net   *interconnect.Network
+	parts []*l2.Partition
+	netSt *stats.Stats
+	memSt *stats.Stats
+}
+
+// New builds an engine for the configuration and L1D policy.
+func New(cfg *config.Config, policy config.Policy, opts Options) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	e := &Engine{
+		cfg:    cfg,
+		policy: policy,
+		opts:   opts,
+		netSt:  &stats.Stats{},
+		memSt:  &stats.Stats{},
+	}
+	e.sms = make([]*sm.SM, cfg.NumSMs)
+	for i := range e.sms {
+		e.sms[i] = sm.New(cfg, i, policy)
+	}
+	e.net = interconnect.New(cfg.ICNTLatency, cfg.ICNTBandwidthFlits,
+		cfg.ICNTFlitBytes, cfg.L1D.LineSize, e.netSt)
+	e.parts = make([]*l2.Partition, cfg.NumPartitions)
+	for i := range e.parts {
+		e.parts[i] = l2.New(cfg, e.memSt)
+	}
+	return e, nil
+}
+
+// Run executes the kernel to completion and returns aggregated stats.
+func (e *Engine) Run(k *trace.Kernel) (*stats.Stats, error) {
+	if err := k.Validate(e.cfg.WarpSize); err != nil {
+		return nil, err
+	}
+	for i, b := range k.Blocks {
+		e.sms[i%len(e.sms)].AssignBlock(b)
+	}
+
+	var cycle uint64
+	for cycle = 1; cycle <= e.opts.MaxCycles; cycle++ {
+		e.step(cycle)
+		if cycle%32 == 0 && e.quiescent() {
+			break
+		}
+	}
+	if cycle > e.opts.MaxCycles {
+		if !e.quiescent() {
+			return nil, fmt.Errorf("sim: kernel %q did not finish within %d cycles",
+				k.Name, e.opts.MaxCycles)
+		}
+	}
+
+	total := e.collect()
+	total.Cycles = cycle
+	total.ICNTFlits += uint64(e.opts.BackgroundFlitsPerKInsn * float64(total.Instructions) / 1000)
+	if err := total.CheckConservation(); err != nil {
+		return nil, err
+	}
+	return total, nil
+}
+
+// step advances the whole machine one core cycle. Core, ICNT and L2 run
+// in the 650 MHz domain; the DRAM channels convert to the 924 MHz memory
+// clock internally (Table 1).
+func (e *Engine) step(now uint64) {
+	e.net.Tick(now)
+
+	// Deliver request packets to their memory partition.
+	for {
+		req := e.net.PopArrived(interconnect.ToMem)
+		if req == nil {
+			break
+		}
+		p := addr.PartitionOf(req.Addr, e.cfg.L1D.LineSize, len(e.parts))
+		e.parts[p].Enqueue(req)
+	}
+
+	// Advance partitions and ship their responses back.
+	for _, p := range e.parts {
+		p.Tick(now)
+		for {
+			resp := p.PopResponse()
+			if resp == nil {
+				break
+			}
+			e.net.Push(interconnect.ToCore, resp)
+		}
+	}
+
+	// Deliver responses to the issuing SM's L1D.
+	for {
+		resp := e.net.PopArrived(interconnect.ToCore)
+		if resp == nil {
+			break
+		}
+		e.sms[resp.SM].L1D().OnResponse(resp)
+	}
+
+	// Advance the cores and collect their outgoing fetches.
+	for _, s := range e.sms {
+		s.Tick(now)
+		for i := 0; i < e.opts.InjectionRate; i++ {
+			out := s.L1D().PopOutgoing()
+			if out == nil {
+				break
+			}
+			e.net.Push(interconnect.ToMem, out)
+		}
+	}
+}
+
+// quiescent reports whether every component has fully drained.
+func (e *Engine) quiescent() bool {
+	for _, s := range e.sms {
+		if !s.Done() || s.L1D().HasOutgoing() {
+			return false
+		}
+	}
+	if e.net.Pending() {
+		return false
+	}
+	for _, p := range e.parts {
+		if p.Pending() {
+			return false
+		}
+	}
+	return true
+}
+
+// collect sums per-component stats into one Stats.
+func (e *Engine) collect() *stats.Stats {
+	total := &stats.Stats{}
+	for _, s := range e.sms {
+		total.Add(s.Stats())
+		total.Add(s.L1D().Stats())
+	}
+	total.Add(e.netSt)
+	total.Add(e.memSt)
+	return total
+}
+
+// RunOnce is the package-level convenience entry point: build an engine
+// and run one kernel under one policy.
+func RunOnce(cfg *config.Config, policy config.Policy, k *trace.Kernel, opts Options) (*stats.Stats, error) {
+	e, err := New(cfg, policy, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(k)
+}

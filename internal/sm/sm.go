@@ -1,0 +1,328 @@
+// Package sm models one streaming multiprocessor: a warp pool fed by
+// thread-block dispatch, dual greedy-then-oldest (GTO) warp schedulers,
+// in-order per-warp execution, and a load/store unit that coalesces
+// memory instructions and feeds the L1D one line request per cycle,
+// blocking in its pipeline register when the cache stalls (§2).
+package sm
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// warp is one resident warp's execution state.
+type warp struct {
+	tr          *trace.WarpTrace
+	pc          int
+	busyUntil   uint64
+	outstanding int  // memory requests in flight
+	inLDST      bool // a memory instruction of this warp occupies the LD/ST queue
+	slot        int
+	age         uint64 // dispatch order; smaller is older (GTO tie-break)
+	block       *residentBlock
+}
+
+func (w *warp) done(now uint64) bool {
+	return w.pc >= len(w.tr.Instrs) && w.outstanding == 0 && !w.inLDST &&
+		w.busyUntil <= now
+}
+
+// ready reports whether the warp can issue at cycle now.
+func (w *warp) ready(now uint64) bool {
+	return w.pc < len(w.tr.Instrs) && w.busyUntil <= now &&
+		w.outstanding == 0 && !w.inLDST
+}
+
+type residentBlock struct {
+	liveWarps int
+}
+
+// memInstr is one coalesced memory instruction being drained into the L1D.
+type memInstr struct {
+	w    *warp
+	reqs []*mem.Request
+	next int
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	cfg   *config.Config
+	id    int
+	l1d   *core.L1D
+	st    *stats.Stats
+	slots []*warp
+
+	pendingBlocks []*trace.Block
+	ageCounter    uint64
+	nextReqID     uint64
+
+	ldst    []*memInstr
+	ldstCap int
+	greedy  []int // per-scheduler last-issued slot, -1 when none
+	now     uint64
+}
+
+// New builds an SM with its own L1D under the given policy.
+func New(cfg *config.Config, id int, policy config.Policy) *SM {
+	s := &SM{
+		cfg:     cfg,
+		id:      id,
+		st:      &stats.Stats{},
+		slots:   make([]*warp, cfg.MaxWarpsPerSM),
+		ldstCap: 48,
+		greedy:  make([]int, cfg.SchedulersPerSM),
+	}
+	for i := range s.greedy {
+		s.greedy[i] = -1
+	}
+	s.l1d = core.NewL1D(cfg, policy, s.onMemResponse)
+	return s
+}
+
+// L1D exposes the cache for the engine's response routing and stats.
+func (s *SM) L1D() *core.L1D { return s.l1d }
+
+// Stats returns the SM's counters (cycles are tracked by the engine).
+func (s *SM) Stats() *stats.Stats { return s.st }
+
+// AssignBlock queues a thread block for execution on this SM.
+func (s *SM) AssignBlock(b *trace.Block) {
+	s.pendingBlocks = append(s.pendingBlocks, b)
+}
+
+// onMemResponse is the L1D delivery callback: one completed load request.
+func (s *SM) onMemResponse(req *mem.Request) {
+	w := s.slots[req.Warp]
+	if w == nil || w.outstanding <= 0 {
+		panic(fmt.Sprintf("sm%d: response for idle warp slot %d", s.id, req.Warp))
+	}
+	w.outstanding--
+}
+
+// admitBlocks moves pending blocks into free warp slots while capacity
+// allows, preserving dispatch order.
+func (s *SM) admitBlocks() {
+	for len(s.pendingBlocks) > 0 {
+		b := s.pendingBlocks[0]
+		free := 0
+		for _, w := range s.slots {
+			if w == nil {
+				free++
+			}
+		}
+		if free < len(b.Warps) {
+			return
+		}
+		rb := &residentBlock{liveWarps: len(b.Warps)}
+		wi := 0
+		for slot := range s.slots {
+			if wi >= len(b.Warps) {
+				break
+			}
+			if s.slots[slot] != nil {
+				continue
+			}
+			s.ageCounter++
+			s.slots[slot] = &warp{
+				tr:    b.Warps[wi],
+				slot:  slot,
+				age:   s.ageCounter,
+				block: rb,
+			}
+			wi++
+		}
+		s.pendingBlocks = s.pendingBlocks[1:]
+	}
+}
+
+// retireWarps frees slots of completed warps and their blocks.
+func (s *SM) retireWarps() {
+	for slot, w := range s.slots {
+		if w == nil || !w.done(s.now) {
+			continue
+		}
+		w.block.liveWarps--
+		s.slots[slot] = nil
+	}
+}
+
+// Tick advances the SM one core cycle: cache delivery, LD/ST drain, then
+// warp issue.
+func (s *SM) Tick(now uint64) {
+	s.now = now
+	s.l1d.Tick(now)
+	s.retireWarps()
+	s.admitBlocks()
+	s.tickLDST()
+	s.issue()
+}
+
+// tickLDST pushes the head memory instruction's next request into the
+// L1D; a stall blocks the pipeline register (and therefore every younger
+// memory instruction) until the cache accepts it.
+func (s *SM) tickLDST() {
+	if len(s.ldst) == 0 {
+		return
+	}
+	mi := s.ldst[0]
+	req := mi.reqs[mi.next]
+	outcome := s.l1d.Access(req)
+	if outcome == mem.OutcomeStall {
+		return
+	}
+	if !req.Store {
+		mi.w.outstanding++
+	}
+	mi.next++
+	if mi.next == len(mi.reqs) {
+		mi.w.inLDST = false
+		copy(s.ldst, s.ldst[1:])
+		s.ldst[len(s.ldst)-1] = nil
+		s.ldst = s.ldst[:len(s.ldst)-1]
+	}
+}
+
+// issue runs each warp scheduler once: greedy on the warp it issued last,
+// falling back to the oldest ready warp it owns. Scheduler k owns warp
+// slots with slot % SchedulersPerSM == k.
+func (s *SM) issue() {
+	for sched := 0; sched < s.cfg.SchedulersPerSM; sched++ {
+		slot := s.pickWarp(sched)
+		if slot < 0 {
+			continue
+		}
+		s.issueFrom(s.slots[slot])
+		s.greedy[sched] = slot
+	}
+}
+
+// issuable reports whether the warp can issue right now, including the
+// structural LD/ST-queue hazard for memory instructions and the optional
+// active-warp throttle.
+func (s *SM) issuable(w *warp) bool {
+	if w == nil || !w.ready(s.now) {
+		return false
+	}
+	if !s.warpActive(w) {
+		return false
+	}
+	if w.tr.Instrs[w.pc].Kind != trace.Compute && len(s.ldst) >= s.ldstCap {
+		return false
+	}
+	return true
+}
+
+// warpActive implements static CCWS-style throttling: with MaxActiveWarps
+// set, only the N oldest unfinished warps may issue; the rest wait until
+// an older warp retires. Zero disables the throttle.
+func (s *SM) warpActive(w *warp) bool {
+	limit := s.cfg.MaxActiveWarps
+	if limit <= 0 {
+		return true
+	}
+	older := 0
+	for _, other := range s.slots {
+		if other != nil && other != w && other.age < w.age {
+			older++
+		}
+	}
+	return older < limit
+}
+
+func (s *SM) pickWarp(sched int) int {
+	if s.cfg.Scheduler == config.SchedLRR {
+		return s.pickWarpLRR(sched)
+	}
+	if g := s.greedy[sched]; g >= 0 && s.issuable(s.slots[g]) {
+		return g
+	}
+	best := -1
+	var bestAge uint64
+	for slot := sched; slot < len(s.slots); slot += s.cfg.SchedulersPerSM {
+		w := s.slots[slot]
+		if !s.issuable(w) {
+			continue
+		}
+		if best < 0 || w.age < bestAge {
+			best = slot
+			bestAge = w.age
+		}
+	}
+	return best
+}
+
+// pickWarpLRR rotates through the scheduler's slot sequence (slots
+// congruent to sched modulo the scheduler count), starting just after
+// the slot it issued from last.
+func (s *SM) pickWarpLRR(sched int) int {
+	n := s.cfg.SchedulersPerSM
+	count := 0
+	for slot := sched; slot < len(s.slots); slot += n {
+		count++
+	}
+	if count == 0 {
+		return -1
+	}
+	last := -1 // position of the last-issued slot within the sequence
+	if g := s.greedy[sched]; g >= 0 {
+		last = (g - sched) / n
+	}
+	for i := 1; i <= count; i++ {
+		slot := sched + ((last+i)%count)*n
+		if s.issuable(s.slots[slot]) {
+			return slot
+		}
+	}
+	return -1
+}
+
+func (s *SM) issueFrom(w *warp) {
+	in := &w.tr.Instrs[w.pc]
+	w.pc++
+	s.st.WarpInsns++
+	s.st.Instructions += uint64(in.ActiveLanes)
+	s.l1d.NoteInstructions(uint64(in.ActiveLanes))
+
+	switch in.Kind {
+	case trace.Compute:
+		w.busyUntil = s.now + uint64(in.Latency)
+	case trace.Load, trace.Store:
+		lines := in.CoalescedLines(s.cfg.L1D.LineSize)
+		mi := &memInstr{w: w, reqs: make([]*mem.Request, len(lines))}
+		for i, line := range lines {
+			s.nextReqID++
+			mi.reqs[i] = &mem.Request{
+				ID:     s.nextReqID,
+				Addr:   line,
+				PC:     in.PC,
+				InsnID: addr.HashPC(in.PC),
+				SM:     s.id,
+				Warp:   w.slot,
+				Store:  in.Kind == trace.Store,
+			}
+		}
+		w.inLDST = true
+		s.ldst = append(s.ldst, mi)
+		w.busyUntil = s.now + 1
+	}
+}
+
+// Done reports whether every assigned block has fully executed and all
+// cache work has drained.
+func (s *SM) Done() bool {
+	if len(s.pendingBlocks) > 0 || len(s.ldst) > 0 || s.l1d.Pending() {
+		return false
+	}
+	for _, w := range s.slots {
+		if w != nil && !w.done(s.now) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+	"repro/internal/prng"
+)
+
+func roundTrip(t *testing.T, k *Kernel) *Kernel {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := k.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadKernel(&buf)
+	if err != nil {
+		t.Fatalf("ReadKernel: %v", err)
+	}
+	return got
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	k := &Kernel{Name: "rt", Blocks: []*Block{{Warps: []*WarpTrace{{Instrs: []Instr{
+		NewCompute(100, 4, 32),
+		NewLoad(1, []addr.Addr{0, 4, 128}),
+		NewStore(2, []addr.Addr{0xdeadbeef}),
+	}}}}}}
+	got := roundTrip(t, k)
+	if !reflect.DeepEqual(k, got) {
+		t.Errorf("round trip mismatch:\n%+v\nvs\n%+v", k, got)
+	}
+}
+
+func TestSerializeRoundTripRandom(t *testing.T) {
+	f := func(seed uint64, nb, nw, ni uint8) bool {
+		rng := prng.New(seed)
+		k := &Kernel{Name: "r"}
+		for b := 0; b < int(nb)%3+1; b++ {
+			blk := &Block{}
+			for w := 0; w < int(nw)%3+1; w++ {
+				wt := &WarpTrace{}
+				for i := 0; i < int(ni)%8+1; i++ {
+					switch rng.Intn(3) {
+					case 0:
+						wt.Instrs = append(wt.Instrs, NewCompute(uint32(rng.Intn(1000)), 1+rng.Intn(16), 1+rng.Intn(32)))
+					case 1:
+						wt.Instrs = append(wt.Instrs, NewLoad(uint32(rng.Intn(1000)), randA(rng)))
+					default:
+						wt.Instrs = append(wt.Instrs, NewStore(uint32(rng.Intn(1000)), randA(rng)))
+					}
+				}
+				blk.Warps = append(blk.Warps, wt)
+			}
+			k.Blocks = append(k.Blocks, blk)
+		}
+		var buf bytes.Buffer
+		if _, err := k.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadKernel(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(k, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func randA(rng *prng.Source) []addr.Addr {
+	out := make([]addr.Addr, 1+rng.Intn(32))
+	for i := range out {
+		out[i] = addr.Addr(rng.Uint64())
+	}
+	return out
+}
+
+func TestReadKernelRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOTATRACEFILE###"),
+		"truncated":   append([]byte("DLPTRACE"), 1, 0, 0, 0),
+		"bad version": append([]byte("DLPTRACE"), 9, 9, 9, 9, 0, 0, 0, 0),
+	}
+	for name, data := range cases {
+		if _, err := ReadKernel(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadKernelRejectsOversizedCounts(t *testing.T) {
+	// Handcraft a header claiming 2^31 blocks.
+	var buf bytes.Buffer
+	buf.WriteString("DLPTRACE")
+	buf.Write([]byte{1, 0, 0, 0})    // version
+	buf.Write([]byte{0, 0, 0, 0})    // name len 0
+	buf.Write([]byte{0, 0, 0, 0x80}) // blocks = 2^31
+	if _, err := ReadKernel(&buf); err == nil {
+		t.Error("oversized block count accepted")
+	}
+}
+
+func TestReadKernelRejectsUnknownInstrKind(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("DLPTRACE")
+	buf.Write([]byte{1, 0, 0, 0}) // version
+	buf.Write([]byte{0, 0, 0, 0}) // name len
+	buf.Write([]byte{1, 0, 0, 0}) // 1 block
+	buf.Write([]byte{1, 0, 0, 0}) // 1 warp
+	buf.Write([]byte{1, 0, 0, 0}) // 1 instr
+	buf.Write([]byte{9})          // kind 9
+	buf.Write([]byte{0, 0, 0, 0}) // pc
+	if _, err := ReadKernel(&buf); err == nil {
+		t.Error("unknown instruction kind accepted")
+	}
+}
+
+func TestSerializeWorkloadScale(t *testing.T) {
+	// A realistic kernel survives the trip and validates afterwards.
+	k := &Kernel{Name: "big"}
+	for b := 0; b < 4; b++ {
+		blk := &Block{}
+		for w := 0; w < 8; w++ {
+			wt := &WarpTrace{}
+			for i := 0; i < 100; i++ {
+				wt.Instrs = append(wt.Instrs, NewLoad(uint32(i%7), []addr.Addr{addr.Addr(i * 128)}))
+			}
+			blk.Warps = append(blk.Warps, wt)
+		}
+		k.Blocks = append(k.Blocks, blk)
+	}
+	got := roundTrip(t, k)
+	if err := got.Validate(32); err != nil {
+		t.Fatalf("deserialized kernel invalid: %v", err)
+	}
+	a, b := k.Summarize(128), got.Summarize(128)
+	if *a != *b {
+		t.Errorf("summaries differ: %+v vs %+v", a, b)
+	}
+}

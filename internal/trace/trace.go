@@ -1,0 +1,207 @@
+// Package trace models GPU kernels as per-warp instruction traces.
+//
+// A workload generator produces a Kernel: a named grid of thread blocks,
+// each containing warps, each warp holding an in-order instruction
+// sequence. Compute instructions carry a pipeline latency; memory
+// instructions carry per-lane byte addresses that the LD/ST unit coalesces
+// into line-granularity cache accesses. This is the trace-driven
+// equivalent of GPGPU-Sim's functional front end: timing is supplied by
+// the simulator, ordering and addresses by the trace.
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// Kind discriminates instruction types.
+type Kind uint8
+
+const (
+	// Compute is any non-memory instruction (ALU/FPU/SFU/branch).
+	Compute Kind = iota
+	// Load is a global memory read through the L1D.
+	Load
+	// Store is a global memory write (write-through, no-allocate).
+	Store
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Instr is one warp instruction.
+type Instr struct {
+	Kind        Kind
+	PC          uint32      // static instruction ID; stable across warps
+	Latency     int         // compute: cycles until the warp may issue again
+	ActiveLanes int         // threads executing this instruction (<= warp size)
+	Addrs       []addr.Addr // memory: per-active-lane byte addresses
+}
+
+// NewCompute returns a compute instruction covering lanes active lanes.
+func NewCompute(pc uint32, latency, lanes int) Instr {
+	return Instr{Kind: Compute, PC: pc, Latency: latency, ActiveLanes: lanes}
+}
+
+// NewLoad returns a load touching the given per-lane addresses.
+func NewLoad(pc uint32, addrs []addr.Addr) Instr {
+	return Instr{Kind: Load, PC: pc, ActiveLanes: len(addrs), Addrs: addrs}
+}
+
+// NewStore returns a store touching the given per-lane addresses.
+func NewStore(pc uint32, addrs []addr.Addr) Instr {
+	return Instr{Kind: Store, PC: pc, ActiveLanes: len(addrs), Addrs: addrs}
+}
+
+// CoalescedLines returns the distinct line-aligned addresses the
+// instruction touches, in first-appearance order — the memory requests a
+// Fermi-style coalescer would emit.
+func (in *Instr) CoalescedLines(lineSize int) []addr.Addr {
+	if len(in.Addrs) == 0 {
+		return nil
+	}
+	mask := ^addr.Addr(lineSize - 1)
+	out := make([]addr.Addr, 0, 4)
+	for _, a := range in.Addrs {
+		line := a & mask
+		dup := false
+		for _, seen := range out {
+			if seen == line {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// WarpTrace is the in-order instruction stream of one warp.
+type WarpTrace struct {
+	Instrs []Instr
+}
+
+// Block is a thread block: the unit of work dispatched to an SM.
+type Block struct {
+	Warps []*WarpTrace
+}
+
+// Kernel is a launched grid.
+type Kernel struct {
+	Name   string
+	Blocks []*Block
+}
+
+// Validate checks structural sanity: non-empty grid, every memory
+// instruction has addresses, lane counts within warpSize.
+func (k *Kernel) Validate(warpSize int) error {
+	if len(k.Blocks) == 0 {
+		return fmt.Errorf("kernel %q has no blocks", k.Name)
+	}
+	for bi, b := range k.Blocks {
+		if len(b.Warps) == 0 {
+			return fmt.Errorf("kernel %q block %d has no warps", k.Name, bi)
+		}
+		for wi, w := range b.Warps {
+			if len(w.Instrs) == 0 {
+				return fmt.Errorf("kernel %q block %d warp %d is empty", k.Name, bi, wi)
+			}
+			for ii, in := range w.Instrs {
+				if in.ActiveLanes <= 0 || in.ActiveLanes > warpSize {
+					return fmt.Errorf("kernel %q block %d warp %d insn %d: %d active lanes",
+						k.Name, bi, wi, ii, in.ActiveLanes)
+				}
+				switch in.Kind {
+				case Compute:
+					if in.Latency <= 0 {
+						return fmt.Errorf("kernel %q block %d warp %d insn %d: compute latency %d",
+							k.Name, bi, wi, ii, in.Latency)
+					}
+				case Load, Store:
+					if len(in.Addrs) == 0 {
+						return fmt.Errorf("kernel %q block %d warp %d insn %d: memory insn with no addresses",
+							k.Name, bi, wi, ii)
+					}
+					if len(in.Addrs) != in.ActiveLanes {
+						return fmt.Errorf("kernel %q block %d warp %d insn %d: %d addrs vs %d lanes",
+							k.Name, bi, wi, ii, len(in.Addrs), in.ActiveLanes)
+					}
+				default:
+					return fmt.Errorf("kernel %q block %d warp %d insn %d: unknown kind %d",
+						k.Name, bi, wi, ii, in.Kind)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Summary aggregates static trace-level properties of a kernel.
+type Summary struct {
+	Blocks        int
+	Warps         int
+	WarpInsns     uint64 // total warp instructions
+	ThreadInsns   uint64 // warp instructions weighted by active lanes
+	MemInsns      uint64 // warp-level loads + stores
+	LoadInsns     uint64
+	StoreInsns    uint64
+	LineAccesses  uint64 // coalesced line requests (the N_memory_access of Fig. 6)
+	DistinctPCs   int    // distinct memory-instruction PCs
+	DistinctLines uint64 // distinct lines touched (footprint)
+}
+
+// MemoryAccessRatio is line accesses over thread instructions (Fig. 6).
+func (s *Summary) MemoryAccessRatio() float64 {
+	if s.ThreadInsns == 0 {
+		return 0
+	}
+	return float64(s.LineAccesses) / float64(s.ThreadInsns)
+}
+
+// Summarize walks the kernel once and computes its Summary.
+func (k *Kernel) Summarize(lineSize int) *Summary {
+	s := &Summary{Blocks: len(k.Blocks)}
+	pcs := map[uint32]bool{}
+	lines := map[addr.Addr]bool{}
+	for _, b := range k.Blocks {
+		s.Warps += len(b.Warps)
+		for _, w := range b.Warps {
+			for i := range w.Instrs {
+				in := &w.Instrs[i]
+				s.WarpInsns++
+				s.ThreadInsns += uint64(in.ActiveLanes)
+				switch in.Kind {
+				case Load:
+					s.MemInsns++
+					s.LoadInsns++
+				case Store:
+					s.MemInsns++
+					s.StoreInsns++
+				default:
+					continue
+				}
+				pcs[in.PC] = true
+				for _, l := range in.CoalescedLines(lineSize) {
+					s.LineAccesses++
+					lines[l] = true
+				}
+			}
+		}
+	}
+	s.DistinctPCs = len(pcs)
+	s.DistinctLines = uint64(len(lines))
+	return s
+}

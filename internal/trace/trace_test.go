@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/addr"
+)
+
+func TestKindString(t *testing.T) {
+	if Compute.String() != "compute" || Load.String() != "load" || Store.String() != "store" {
+		t.Error("Kind strings wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Errorf("unknown kind string: %s", Kind(9))
+	}
+}
+
+func TestCoalescedLinesMergesSameLine(t *testing.T) {
+	// 32 consecutive 4-byte words span exactly one 128B line.
+	addrs := make([]addr.Addr, 32)
+	for i := range addrs {
+		addrs[i] = addr.Addr(0x1000 + i*4)
+	}
+	in := NewLoad(0, addrs)
+	lines := in.CoalescedLines(128)
+	if len(lines) != 1 || lines[0] != 0x1000 {
+		t.Errorf("coalesced = %v, want [0x1000]", lines)
+	}
+}
+
+func TestCoalescedLinesStride128(t *testing.T) {
+	// Stride-128 accesses: every lane hits a different line.
+	addrs := make([]addr.Addr, 32)
+	for i := range addrs {
+		addrs[i] = addr.Addr(i * 128)
+	}
+	in := NewLoad(0, addrs)
+	lines := in.CoalescedLines(128)
+	if len(lines) != 32 {
+		t.Errorf("coalesced %d lines, want 32", len(lines))
+	}
+}
+
+func TestCoalescedLinesPreservesFirstAppearanceOrder(t *testing.T) {
+	in := NewLoad(0, []addr.Addr{300, 10, 310, 500})
+	lines := in.CoalescedLines(128)
+	want := []addr.Addr{256, 0, 384}
+	if len(lines) != len(want) {
+		t.Fatalf("coalesced = %v", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("lines[%d] = %#x, want %#x", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestCoalescedLinesEmpty(t *testing.T) {
+	in := NewCompute(0, 4, 32)
+	if got := in.CoalescedLines(128); got != nil {
+		t.Errorf("compute instruction coalesced to %v", got)
+	}
+}
+
+func TestCoalescedCountProperty(t *testing.T) {
+	// Number of coalesced lines is between 1 and len(addrs), and every
+	// input address falls within one of the returned lines.
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		addrs := make([]addr.Addr, len(raw))
+		for i, r := range raw {
+			addrs[i] = addr.Addr(r)
+		}
+		in := NewLoad(0, addrs)
+		lines := in.CoalescedLines(128)
+		if len(lines) < 1 || len(lines) > len(addrs) {
+			return false
+		}
+		for _, a := range addrs {
+			found := false
+			for _, l := range lines {
+				if a&^addr.Addr(127) == l {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func validKernel() *Kernel {
+	w := &WarpTrace{Instrs: []Instr{
+		NewCompute(0, 4, 32),
+		NewLoad(1, []addr.Addr{0, 4, 8}),
+		NewStore(2, []addr.Addr{128}),
+	}}
+	return &Kernel{Name: "k", Blocks: []*Block{{Warps: []*WarpTrace{w}}}}
+}
+
+func TestValidateAcceptsGoodKernel(t *testing.T) {
+	if err := validKernel().Validate(32); err != nil {
+		t.Errorf("valid kernel rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		k    *Kernel
+	}{
+		{"no blocks", &Kernel{Name: "x"}},
+		{"no warps", &Kernel{Name: "x", Blocks: []*Block{{}}}},
+		{"empty warp", &Kernel{Name: "x", Blocks: []*Block{{Warps: []*WarpTrace{{}}}}}},
+		{"zero lanes", &Kernel{Name: "x", Blocks: []*Block{{Warps: []*WarpTrace{
+			{Instrs: []Instr{{Kind: Compute, Latency: 4, ActiveLanes: 0}}}}}}}},
+		{"too many lanes", &Kernel{Name: "x", Blocks: []*Block{{Warps: []*WarpTrace{
+			{Instrs: []Instr{{Kind: Compute, Latency: 4, ActiveLanes: 33}}}}}}}},
+		{"zero latency compute", &Kernel{Name: "x", Blocks: []*Block{{Warps: []*WarpTrace{
+			{Instrs: []Instr{{Kind: Compute, ActiveLanes: 32}}}}}}}},
+		{"load without addrs", &Kernel{Name: "x", Blocks: []*Block{{Warps: []*WarpTrace{
+			{Instrs: []Instr{{Kind: Load, ActiveLanes: 1}}}}}}}},
+		{"lane/addr mismatch", &Kernel{Name: "x", Blocks: []*Block{{Warps: []*WarpTrace{
+			{Instrs: []Instr{{Kind: Load, ActiveLanes: 2, Addrs: []addr.Addr{0}}}}}}}}},
+		{"unknown kind", &Kernel{Name: "x", Blocks: []*Block{{Warps: []*WarpTrace{
+			{Instrs: []Instr{{Kind: Kind(7), ActiveLanes: 1}}}}}}}},
+	}
+	for _, c := range cases {
+		if err := c.k.Validate(32); err == nil {
+			t.Errorf("%s: Validate accepted a broken kernel", c.name)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	k := validKernel()
+	s := k.Summarize(128)
+	if s.Blocks != 1 || s.Warps != 1 {
+		t.Errorf("blocks/warps = %d/%d", s.Blocks, s.Warps)
+	}
+	if s.WarpInsns != 3 {
+		t.Errorf("WarpInsns = %d, want 3", s.WarpInsns)
+	}
+	// compute 32 lanes + load 3 lanes + store 1 lane.
+	if s.ThreadInsns != 36 {
+		t.Errorf("ThreadInsns = %d, want 36", s.ThreadInsns)
+	}
+	if s.MemInsns != 2 || s.LoadInsns != 1 || s.StoreInsns != 1 {
+		t.Errorf("mem/load/store = %d/%d/%d", s.MemInsns, s.LoadInsns, s.StoreInsns)
+	}
+	// load coalesces to line 0; store is line 128: 2 line accesses, 2 lines.
+	if s.LineAccesses != 2 {
+		t.Errorf("LineAccesses = %d, want 2", s.LineAccesses)
+	}
+	if s.DistinctLines != 2 {
+		t.Errorf("DistinctLines = %d, want 2", s.DistinctLines)
+	}
+	if s.DistinctPCs != 2 {
+		t.Errorf("DistinctPCs = %d, want 2", s.DistinctPCs)
+	}
+	wantRatio := 2.0 / 36.0
+	if got := s.MemoryAccessRatio(); got != wantRatio {
+		t.Errorf("MemoryAccessRatio = %v, want %v", got, wantRatio)
+	}
+	if got := (&Summary{}).MemoryAccessRatio(); got != 0 {
+		t.Errorf("empty ratio = %v", got)
+	}
+}

@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"repro/internal/addr"
+	"repro/internal/prng"
+	"repro/internal/trace"
+)
+
+// lineBytes is the cache-line size all generators target (Table 1).
+const lineBytes = 128
+
+// wordBytes is the per-lane element size (32-bit values).
+const wordBytes = 4
+
+// warpLanes is the warp width (Table 1).
+const warpLanes = 32
+
+// computeLatency is the pipeline latency of generated ALU instructions.
+const computeLatency = 4
+
+// layout hands out disjoint, line-aligned array regions in the simulated
+// global address space.
+type layout struct {
+	next uint64
+}
+
+// array reserves a region of n cache lines and returns its base address.
+func (l *layout) array(lines int) addr.Addr {
+	base := l.next
+	l.next += uint64(lines) * lineBytes
+	// Guard gap so off-by-one neighbor accesses never alias regions.
+	l.next += 8 * lineBytes
+	return addr.Addr(base)
+}
+
+// wb builds one warp's instruction stream.
+type wb struct {
+	instrs []trace.Instr
+}
+
+// compute appends n full-warp ALU instructions.
+func (b *wb) compute(pc uint32, n int) {
+	for i := 0; i < n; i++ {
+		b.instrs = append(b.instrs, trace.NewCompute(pc, computeLatency, warpLanes))
+	}
+}
+
+// loadVec appends a fully coalesced load: 32 lanes reading consecutive
+// words starting at base (one cache line when line-aligned).
+func (b *wb) loadVec(pc uint32, base addr.Addr) {
+	addrs := make([]addr.Addr, warpLanes)
+	for i := range addrs {
+		addrs[i] = base + addr.Addr(i*wordBytes)
+	}
+	b.instrs = append(b.instrs, trace.NewLoad(pc, addrs))
+}
+
+// storeVec appends a fully coalesced store of one line.
+func (b *wb) storeVec(pc uint32, base addr.Addr) {
+	addrs := make([]addr.Addr, warpLanes)
+	for i := range addrs {
+		addrs[i] = base + addr.Addr(i*wordBytes)
+	}
+	b.instrs = append(b.instrs, trace.NewStore(pc, addrs))
+}
+
+// loadSpan appends a load whose 32 lanes stride evenly across `lines`
+// consecutive cache lines starting at base — the partially coalesced
+// access pattern of column-major or structure-of-arrays code.
+func (b *wb) loadSpan(pc uint32, base addr.Addr, lines int) {
+	if lines < 1 {
+		lines = 1
+	}
+	if lines > warpLanes {
+		lines = warpLanes
+	}
+	addrs := make([]addr.Addr, warpLanes)
+	for i := range addrs {
+		line := i * lines / warpLanes
+		within := (i % (warpLanes / lines)) * wordBytes
+		addrs[i] = base + addr.Addr(line*lineBytes+within)
+	}
+	b.instrs = append(b.instrs, trace.NewLoad(pc, addrs))
+}
+
+// loadGather appends a load with one lane per given line address — the
+// fully diverged pattern of pointer-chasing and hash-table code.
+func (b *wb) loadGather(pc uint32, lines []addr.Addr) {
+	addrs := make([]addr.Addr, len(lines))
+	copy(addrs, lines)
+	b.instrs = append(b.instrs, trace.NewLoad(pc, addrs))
+}
+
+// trace finalizes the warp.
+func (b *wb) trace() *trace.WarpTrace {
+	return &trace.WarpTrace{Instrs: b.instrs}
+}
+
+// grid assembles blocks x warpsPerBlock warps, where build(b, block,
+// warp) fills each warp's stream.
+func grid(name string, blocks, warpsPerBlock int, build func(b *wb, block, warp int)) *trace.Kernel {
+	k := &trace.Kernel{Name: name}
+	for bi := 0; bi < blocks; bi++ {
+		blk := &trace.Block{}
+		for wi := 0; wi < warpsPerBlock; wi++ {
+			b := &wb{}
+			build(b, bi, wi)
+			blk.Warps = append(blk.Warps, b.trace())
+		}
+		k.Blocks = append(k.Blocks, blk)
+	}
+	return k
+}
+
+// seedFor derives a deterministic per-(benchmark, block, warp) PRNG.
+func seedFor(app uint64, block, warp int) *prng.Source {
+	return prng.New(app*1_000_003 + uint64(block)*8_191 + uint64(warp)*131 + 17)
+}
+
+// lineAt returns the address of the i-th line of a region.
+func lineAt(base addr.Addr, i int) addr.Addr {
+	return base + addr.Addr(i*lineBytes)
+}

@@ -1,0 +1,126 @@
+// Package workloads provides deterministic synthetic generators for the
+// 18 GPU applications the paper evaluates (Table 2). Real CUDA binaries
+// and GPGPU-Sim traces are unavailable in this environment, so each
+// generator emits a per-warp instruction/address trace computed from the
+// application's actual loop-nest structure, scaled to simulator-friendly
+// sizes and tuned to reproduce the two characteristics the paper's
+// analysis rests on: the reuse-distance distribution (Fig. 3/7) and the
+// memory-access ratio with its 1% cache-sufficient/insufficient split
+// (Fig. 6, Table 2).
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// Class is the paper's cache-sufficiency classification.
+type Class int
+
+const (
+	// CS applications have memory-access ratios under 1% and are not
+	// limited by the L1D.
+	CS Class = iota
+	// CI applications exceed the 1% threshold and thrash the baseline L1D.
+	CI
+)
+
+func (c Class) String() string {
+	if c == CS {
+		return "CS"
+	}
+	return "CI"
+}
+
+// RatioThreshold is the paper's CS/CI memory-access-ratio boundary (§3.2).
+const RatioThreshold = 0.01
+
+// Spec describes one benchmark application.
+type Spec struct {
+	Name     string // full name from Table 2
+	Abbr     string // figure label
+	Suite    string // originating benchmark suite
+	Class    Class
+	Input    string // the paper's input size (documentation only)
+	Generate func() *trace.Kernel
+
+	// DominantBucket is the RD bucket (index into rdd.Buckets) expected
+	// to dominate the application's RDD, or -1 when the paper shows a
+	// spread across ranges. Used by validation tests.
+	DominantBucket int
+}
+
+// registry lists the applications in the paper's Table 2 / figure order.
+var registry = []Spec{
+	{"Histogram", "HG", "CUDA Samples", CS, "67108864", genHG, -1},
+	{"Hotspot", "HS", "Rodinia", CS, "512x512", genHS, 0},
+	{"3-D Stencil Operation", "STEN", "Parboil", CS, "512x512x64", genSTEN, 3},
+	{"Separable Convolution", "SC", "Rodinia", CS, "2048x512", genSC, 0},
+	{"Back Propagation", "BP", "Rodinia", CS, "65536", genBP, 0},
+	{"Speckle Reducing Anisotropic Diffusion", "SRAD", "Rodinia", CS, "512x512", genSRAD, 0},
+	{"Needleman-Wunsch", "NW", "Rodinia", CS, "1024x1024", genNW, -1},
+	{"Matrix Multiply-add", "GEMM", "Polybench", CS, "512x512x512", genGEMM, 0},
+	{"B+tree", "BT", "Rodinia", CS, "6000x3000", genBT, 0},
+	{"Computational Fluid Dynamics", "CFD", "Rodinia", CI, "97046", genCFD, 2},
+	{"Page View Rank", "PVR", "Mars", CI, "250000", genPVR, 1},
+	{"Similarity Score", "SS", "Mars", CI, "512x128", genSS, 2},
+	{"Breadth-First Search", "BFS", "Rodinia", CI, "65536", genBFS, -1},
+	{"Matrix Multiplication", "MM", "Mars", CI, "256x256", genMM, -1},
+	{"Symmetric Rank-k", "SRK", "Polybench", CI, "256x256", genSRK, 2},
+	{"Symmetric Rank-2k", "SR2K", "Polybench", CI, "256x256", genSR2K, 2},
+	{"K-means", "KM", "Rodinia", CI, "204800", genKM, 3},
+	{"String Match", "STR", "Mars", CI, "354984", genSTR, 3},
+}
+
+// All returns the 18 applications in Table 2 order.
+func All() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByClass returns the applications of one class, preserving order.
+func ByClass(c Class) []Spec {
+	var out []Spec
+	for _, s := range registry {
+		if s.Class == c {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByAbbr finds an application by its figure label.
+func ByAbbr(abbr string) (Spec, error) {
+	for _, s := range registry {
+		if s.Abbr == abbr {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workloads: unknown application %q", abbr)
+}
+
+// Abbrs returns all figure labels in order.
+func Abbrs() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Abbr
+	}
+	return out
+}
+
+// SortedByRatio returns specs sorted ascending by the memory-access
+// ratio of their generated kernels (the Fig. 6 x-axis ordering).
+func SortedByRatio(lineSize int) []Spec {
+	specs := All()
+	ratios := make(map[string]float64, len(specs))
+	for _, s := range specs {
+		ratios[s.Abbr] = s.Generate().Summarize(lineSize).MemoryAccessRatio()
+	}
+	sort.SliceStable(specs, func(i, j int) bool {
+		return ratios[specs[i].Abbr] < ratios[specs[j].Abbr]
+	})
+	return specs
+}
