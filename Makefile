@@ -1,0 +1,31 @@
+# Build/test entry points. `make check` is the PR gate: it builds and
+# vets every package, then runs the short test suite under the race
+# detector, which exercises the internal/runner worker pool and the
+# suite-level order-independence tests concurrently.
+
+GO ?= go
+
+.PHONY: all build vet check test figures clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet
+	$(GO) test -race -short ./...
+
+# Full suite, including the ~2 min headline reproduction tests.
+test: build vet
+	$(GO) test ./...
+
+# Regenerate the committed reference outputs.
+figures:
+	$(GO) run ./cmd/paperfigs > paperfigs_output.txt
+	$(GO) run ./cmd/ablate -quiet > ablate_output.txt
+
+clean:
+	$(GO) clean ./...

@@ -1,11 +1,13 @@
 package dlpsim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
-	"repro/internal/sim"
+	"repro/internal/runner"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -33,53 +35,75 @@ type Ablation struct {
 // protection showcases, one 32KB-favoring app, and one long-RD app.
 func DefaultAblationApps() []string { return []string{"CFD", "PVR", "SRK", "KM"} }
 
-// runAblation sweeps mutate over values for the given apps.
-func runAblation(name string, apps []string, values []int,
-	mutate func(cfg *config.Config, v int), progress func(string)) (*Ablation, error) {
+// runAblation sweeps mutate over values for the given apps. All points
+// — the per-app baselines plus every (value, app) DLP run — are
+// submitted to r as one batch, so the pool overlaps them freely and a
+// shared result cache deduplicates the baselines across sweeps. A nil
+// runner gets the defaults (GOMAXPROCS workers, no cache).
+func runAblation(ctx context.Context, name string, apps []string, values []int,
+	mutate func(cfg *config.Config, v int), r *runner.Runner) (*Ablation, error) {
+	if r == nil {
+		r = &runner.Runner{}
+	}
 	ab := &Ablation{Name: name, Apps: apps}
 
-	// Baselines are measured once with the untouched configuration: the
-	// swept parameters only exist inside the DLP hardware, so the
-	// baseline cache is unaffected by them.
-	base := make(map[string]float64, len(apps))
-	for _, app := range apps {
+	// Kernels are generated once per app and shared by every point
+	// (they are read-only during simulation).
+	kernels := make([]*trace.Kernel, len(apps))
+	for i, app := range apps {
 		spec, err := workloads.ByAbbr(app)
 		if err != nil {
 			return nil, err
 		}
-		if progress != nil {
-			progress(fmt.Sprintf("%s: baseline %s", name, app))
-		}
-		st, err := sim.RunOnce(config.Baseline(), config.PolicyBaseline, spec.Generate(), sim.Options{})
-		if err != nil {
-			return nil, err
-		}
-		base[app] = st.IPC()
+		kernels[i] = spec.Generate()
 	}
 
+	// Baselines are measured once with the untouched configuration: the
+	// swept parameters only exist inside the DLP hardware, so the
+	// baseline cache is unaffected by them.
+	var jobs []runner.Job
+	for i, app := range apps {
+		jobs = append(jobs, runner.Job{
+			Label:  fmt.Sprintf("%s: baseline %s", name, app),
+			Config: config.Baseline(),
+			Policy: config.PolicyBaseline,
+			Kernel: kernels[i],
+		})
+	}
+	for _, v := range values {
+		cfg := config.Baseline()
+		mutate(cfg, v)
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		for i, app := range apps {
+			jobs = append(jobs, runner.Job{
+				Label:  fmt.Sprintf("%s=%d: %s", name, v, app),
+				Config: cfg,
+				Policy: config.PolicyDLP,
+				Kernel: kernels[i],
+			})
+		}
+	}
+
+	results, err := r.Run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	base := make(map[string]float64, len(apps))
+	for i, app := range apps {
+		base[app] = results[i].Stats.IPC()
+	}
+	idx := len(apps)
 	for _, v := range values {
 		pt := AblationPoint{Value: v, Speedups: make(map[string]float64, len(apps))}
 		var ratios []float64
 		for _, app := range apps {
-			spec, err := workloads.ByAbbr(app)
-			if err != nil {
-				return nil, err
-			}
-			cfg := config.Baseline()
-			mutate(cfg, v)
-			if err := cfg.Validate(); err != nil {
-				return nil, err
-			}
-			if progress != nil {
-				progress(fmt.Sprintf("%s=%d: %s", name, v, app))
-			}
-			st, err := sim.RunOnce(cfg, config.PolicyDLP, spec.Generate(), sim.Options{})
-			if err != nil {
-				return nil, err
-			}
-			sp := st.IPC() / base[app]
+			sp := results[idx].Stats.IPC() / base[app]
 			pt.Speedups[app] = sp
 			ratios = append(ratios, sp)
+			idx++
 		}
 		pt.GeoMean = stats.GeoMean(ratios)
 		ab.Points = append(ab.Points, pt)
@@ -89,32 +113,32 @@ func runAblation(name string, apps []string, values []int,
 
 // AblateSamplePeriod sweeps the sampling period (§4.1.4; paper: 200
 // cache accesses).
-func AblateSamplePeriod(apps []string, progress func(string)) (*Ablation, error) {
-	return runAblation("sample-period", apps, []int{50, 100, 200, 400, 800},
-		func(cfg *config.Config, v int) { cfg.SampleAccesses = v }, progress)
+func AblateSamplePeriod(ctx context.Context, apps []string, r *Runner) (*Ablation, error) {
+	return runAblation(ctx, "sample-period", apps, []int{50, 100, 200, 400, 800},
+		func(cfg *config.Config, v int) { cfg.SampleAccesses = v }, r)
 }
 
 // AblatePDBits sweeps the protection-distance field width (§4.3; paper:
 // 4 bits, i.e. a maximum protected life of 15 set queries).
-func AblatePDBits(apps []string, progress func(string)) (*Ablation, error) {
-	return runAblation("pd-bits", apps, []int{2, 3, 4, 5, 6},
-		func(cfg *config.Config, v int) { cfg.PDBits = v }, progress)
+func AblatePDBits(ctx context.Context, apps []string, r *Runner) (*Ablation, error) {
+	return runAblation(ctx, "pd-bits", apps, []int{2, 3, 4, 5, 6},
+		func(cfg *config.Config, v int) { cfg.PDBits = v }, r)
 }
 
 // AblateVTAWays sweeps the victim-tag-array associativity (footnote 2;
 // paper: equal to the cache's 4 ways). Nasc scales with it, so this
 // changes both the observation window and the PD increments.
-func AblateVTAWays(apps []string, progress func(string)) (*Ablation, error) {
-	return runAblation("vta-ways", apps, []int{2, 4, 8, 16},
-		func(cfg *config.Config, v int) { cfg.VTAWays = v }, progress)
+func AblateVTAWays(ctx context.Context, apps []string, r *Runner) (*Ablation, error) {
+	return runAblation(ctx, "vta-ways", apps, []int{2, 4, 8, 16},
+		func(cfg *config.Config, v int) { cfg.VTAWays = v }, r)
 }
 
 // AblateWarpLimit sweeps a static CCWS-style active-warp throttle on top
 // of DLP — the combination the paper's related work points at (Chen et
 // al. [6] integrate PDP with CCWS). Zero means unthrottled.
-func AblateWarpLimit(apps []string, progress func(string)) (*Ablation, error) {
-	return runAblation("warp-limit", apps, []int{0, 8, 16, 24, 32},
-		func(cfg *config.Config, v int) { cfg.MaxActiveWarps = v }, progress)
+func AblateWarpLimit(ctx context.Context, apps []string, r *Runner) (*Ablation, error) {
+	return runAblation(ctx, "warp-limit", apps, []int{0, 8, 16, 24, 32},
+		func(cfg *config.Config, v int) { cfg.MaxActiveWarps = v }, r)
 }
 
 // Render formats the ablation as an aligned table.

@@ -1,6 +1,7 @@
 package dlpsim
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -9,7 +10,7 @@ func TestAblationPDBits(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation sweep skipped in -short mode")
 	}
-	ab, err := AblatePDBits([]string{"CFD"}, nil)
+	ab, err := AblatePDBits(context.Background(), []string{"CFD"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestAblationPDBits(t *testing.T) {
 }
 
 func TestAblationRejectsUnknownApp(t *testing.T) {
-	if _, err := AblatePDBits([]string{"NOPE"}, nil); err == nil {
+	if _, err := AblatePDBits(context.Background(), []string{"NOPE"}, nil); err == nil {
 		t.Error("unknown app accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package dlpsim
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -32,7 +33,7 @@ func benchPaperSuite(b *testing.B) *SuiteResult {
 	b.Helper()
 	benchPaperOnce.Do(func() {
 		var err error
-		benchPaper, err = RunSuite(PaperSchemes(), nil)
+		benchPaper, err = RunSuite(context.Background(), PaperSchemes(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -44,7 +45,7 @@ func benchAssocSuite(b *testing.B) *SuiteResult {
 	b.Helper()
 	benchAssocOnce.Do(func() {
 		var err error
-		benchAssoc, err = RunSuite(AssocSchemes(), nil)
+		benchAssoc, err = RunSuite(context.Background(), AssocSchemes(), nil)
 		if err != nil {
 			b.Fatal(err)
 		}

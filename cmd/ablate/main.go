@@ -3,18 +3,25 @@
 // (4 bits, §4.3), and the VTA associativity (= cache ways, footnote 2) —
 // and reports DLP's IPC speedup over the baseline cache at each setting.
 //
+// Sweeps execute on a parallel worker pool with a shared result cache,
+// so the per-app baseline runs — identical in every sweep — simulate
+// only once per invocation. Ctrl-C cancels in-flight runs promptly.
+//
 // Usage:
 //
 //	ablate                      # all three sweeps on the default apps
 //	ablate -sweep pd-bits       # one sweep
 //	ablate -apps CFD,KM         # choose applications
+//	ablate -j 8                 # worker-pool size (default GOMAXPROCS)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 
 	dlpsim "repro"
@@ -26,20 +33,31 @@ func main() {
 	sweep := flag.String("sweep", "all", "sample-period | pd-bits | vta-ways | warp-limit | all")
 	appsFlag := flag.String("apps", strings.Join(dlpsim.DefaultAblationApps(), ","),
 		"comma-separated application abbreviations")
+	workers := flag.Int("j", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var apps []string
 	for _, a := range strings.Split(*appsFlag, ",") {
 		apps = append(apps, strings.ToUpper(strings.TrimSpace(a)))
 	}
-	progress := func(msg string) {
-		if !*quiet {
-			fmt.Fprintln(os.Stderr, "running", msg)
-		}
+
+	// One runner — one worker pool, one result cache — serves every
+	// sweep, so the shared baseline points are simulated exactly once.
+	r := &dlpsim.Runner{
+		Workers: *workers,
+		Cache:   dlpsim.NewRunCache(),
+		Events: func(ev dlpsim.RunEvent) {
+			if !*quiet && ev.Kind == dlpsim.JobDone && !ev.Cached && ev.Err == nil {
+				fmt.Fprintf(os.Stderr, "ran %s (%.1fs)\n", ev.Label, ev.Wall.Seconds())
+			}
+		},
 	}
 
-	sweeps := map[string]func([]string, func(string)) (*dlpsim.Ablation, error){
+	sweeps := map[string]func(context.Context, []string, *dlpsim.Runner) (*dlpsim.Ablation, error){
 		"sample-period": dlpsim.AblateSamplePeriod,
 		"pd-bits":       dlpsim.AblatePDBits,
 		"vta-ways":      dlpsim.AblateVTAWays,
@@ -51,7 +69,7 @@ func main() {
 		if *sweep != "all" && *sweep != name {
 			continue
 		}
-		ab, err := sweeps[name](apps, progress)
+		ab, err := sweeps[name](ctx, apps, r)
 		if err != nil {
 			log.Fatal(err)
 		}

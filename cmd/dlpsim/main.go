@@ -9,11 +9,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"text/tabwriter"
 
@@ -92,7 +94,9 @@ func main() {
 		return
 	}
 
-	st, err := sim.RunOnce(cfg, pol, kernel, sim.Options{})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	st, err := sim.RunOnce(ctx, cfg, pol, kernel, sim.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

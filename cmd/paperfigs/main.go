@@ -2,11 +2,20 @@
 // evaluation from the simulator: Table 2, Figs. 3–7 (workload analysis),
 // the §4.3 overhead model, and Figs. 10–13 (the policy evaluation).
 //
+// Simulations run on a parallel worker pool behind a content-addressed
+// result cache: table output is byte-identical at any -j, and points
+// shared between experiments (e.g. the 16KB and 32KB baselines of
+// Figs. 5 and 10) simulate only once. With -cache DIR results persist
+// on disk, so re-running regenerates everything without simulating.
+// Interrupting (Ctrl-C) cancels in-flight simulations promptly.
+//
 // Usage:
 //
 //	paperfigs                 # everything
 //	paperfigs -exp fig10      # one experiment
 //	paperfigs -exp fig3,fig7  # a comma-separated subset
+//	paperfigs -j 8            # worker-pool size (default GOMAXPROCS)
+//	paperfigs -cache .figcache  # persist results across runs
 //	paperfigs -quiet          # suppress per-run progress
 //
 // Experiment ids: table2, overhead, fig3, fig4, fig5, fig6, fig7,
@@ -14,12 +23,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	dlpsim "repro"
 )
@@ -30,8 +42,13 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids (default: all)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	format := flag.String("format", "text", "text | csv")
+	workers := flag.Int("j", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache", "", "persist simulation results under this directory")
 	flag.Parse()
 	useCSV := strings.EqualFold(*format, "csv")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	want := map[string]bool{}
 	for _, id := range strings.Split(*exp, ",") {
@@ -39,11 +56,33 @@ func main() {
 	}
 	has := func(id string) bool { return want["all"] || want[id] }
 
-	progress := func(app, scheme string) {
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "running %s under %s...\n", app, scheme)
+	// One cache and one event sink are shared by every suite in this
+	// invocation, so overlapping (config, policy, kernel) points — the
+	// baseline and 32KB runs appear in both Fig. 5 and Fig. 10 — are
+	// simulated once and recalled afterwards.
+	cache := dlpsim.NewRunCache()
+	if *cacheDir != "" {
+		var err error
+		cache, err = dlpsim.OpenRunCache(*cacheDir)
+		check(err)
+	}
+	start := time.Now()
+	var simulated, recalled int
+	events := func(ev dlpsim.RunEvent) {
+		if ev.Kind != dlpsim.JobDone {
+			return
+		}
+		if ev.Cached {
+			recalled++
+			return
+		}
+		simulated++
+		if !*quiet && ev.Err == nil {
+			fmt.Fprintf(os.Stderr, "ran %s (%.1fs, %d/%d done)\n",
+				ev.Label, ev.Wall.Seconds(), ev.Done, ev.Done+ev.Running+ev.Queued)
 		}
 	}
+	suiteOpts := &dlpsim.SuiteOptions{Workers: *workers, Cache: cache, Events: events}
 
 	if has("table2") {
 		fmt.Println(dlpsim.Table2())
@@ -81,42 +120,45 @@ func main() {
 	}
 
 	if has("fig5") {
-		suite, err := dlpsim.RunSuite(dlpsim.AssocSchemes(), progress)
+		suite, err := dlpsim.RunSuite(ctx, dlpsim.AssocSchemes(), suiteOpts)
 		check(err)
 		renderTable(suite.Fig5IPC())
 	}
 
 	needEval := has("fig10") || has("fig11a") || has("fig11b") ||
 		has("fig12a") || has("fig12b") || has("fig13")
-	if !needEval {
-		return
-	}
-	suite, err := dlpsim.RunSuite(dlpsim.PaperSchemes(), progress)
-	check(err)
-	builders := []struct {
-		id    string
-		build func() (*dlpsim.Table, error)
-	}{
-		{"fig10", suite.Fig10IPC},
-		{"fig11a", suite.Fig11aTraffic},
-		{"fig11b", suite.Fig11bEvictions},
-		{"fig12a", suite.Fig12aHitRate},
-		{"fig12b", suite.Fig12bHits},
-		{"fig13", suite.Fig13ICNT},
-	}
-	for _, b := range builders {
-		if !has(b.id) {
-			continue
-		}
-		renderTable(b.build())
-	}
-	if has("fig10") {
-		sp, err := suite.Speedups()
+	if needEval {
+		suite, err := dlpsim.RunSuite(ctx, dlpsim.PaperSchemes(), suiteOpts)
 		check(err)
-		fmt.Println("== headline speedups (CI geometric mean vs baseline) ==")
-		for _, sc := range dlpsim.PaperSchemes() {
-			fmt.Printf("%-18s CI x%.3f   CS x%.3f\n", sc.Name, sp[sc.Name]["CI"], sp[sc.Name]["CS"])
+		builders := []struct {
+			id    string
+			build func() (*dlpsim.Table, error)
+		}{
+			{"fig10", suite.Fig10IPC},
+			{"fig11a", suite.Fig11aTraffic},
+			{"fig11b", suite.Fig11bEvictions},
+			{"fig12a", suite.Fig12aHitRate},
+			{"fig12b", suite.Fig12bHits},
+			{"fig13", suite.Fig13ICNT},
 		}
+		for _, b := range builders {
+			if !has(b.id) {
+				continue
+			}
+			renderTable(b.build())
+		}
+		if has("fig10") {
+			sp, err := suite.Speedups()
+			check(err)
+			fmt.Println("== headline speedups (CI geometric mean vs baseline) ==")
+			for _, sc := range dlpsim.PaperSchemes() {
+				fmt.Printf("%-18s CI x%.3f   CS x%.3f\n", sc.Name, sp[sc.Name]["CI"], sp[sc.Name]["CS"])
+			}
+		}
+	}
+	if !*quiet && simulated+recalled > 0 {
+		fmt.Fprintf(os.Stderr, "%d simulations, %d cache hits in %.1fs\n",
+			simulated, recalled, time.Since(start).Seconds())
 	}
 }
 

@@ -12,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"text/tabwriter"
@@ -34,6 +36,9 @@ func main() {
 	app := flag.String("app", "CFD", "application abbreviation")
 	maxSamples := flag.Int("samples", 20, "sampling periods to trace")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	spec, err := workloads.ByAbbr(strings.ToUpper(*app))
 	if err != nil {
@@ -65,7 +70,7 @@ func main() {
 	send := func(line addr.Addr, pc uint32, store bool) {
 		id++
 		req := &mem.Request{ID: id, Addr: line, PC: pc, InsnID: addr.HashPC(pc), Store: store}
-		for {
+		for ctx.Err() == nil {
 			now++
 			l1d.Tick(now)
 			out := l1d.Access(req)
@@ -91,7 +96,7 @@ func main() {
 	blocks := k.Blocks[:1] // one SM's share is representative
 	ptrs := make([]int, len(blocks[0].Warps))
 	live := len(ptrs)
-	for live > 0 && int(pdpt.Samples()) < *maxSamples {
+	for live > 0 && int(pdpt.Samples()) < *maxSamples && ctx.Err() == nil {
 		live = 0
 		for wi, wt := range blocks[0].Warps {
 			for ; ptrs[wi] < len(wt.Instrs); ptrs[wi]++ {

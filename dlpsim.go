@@ -1,6 +1,7 @@
 package dlpsim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/rdd"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -43,7 +45,46 @@ type (
 	Options = sim.Options
 	// Addr is a byte address in the simulated global memory space.
 	Addr = addr.Addr
+
+	// Job is one simulation point (config + policy + kernel + options)
+	// for the parallel experiment runner.
+	Job = runner.Job
+	// RunResult is one Job's outcome, in submission order.
+	RunResult = runner.Result
+	// Runner executes batches of Jobs on a worker pool with optional
+	// result caching and progress events.
+	Runner = runner.Runner
+	// RunCache is a content-addressed store of simulation results.
+	RunCache = runner.Cache
+	// RunEvent is one structured progress notification.
+	RunEvent = runner.Event
+	// RunEvents receives progress notifications from a Runner.
+	RunEvents = runner.Events
 )
+
+// Progress-event kinds emitted by the Runner.
+const (
+	JobQueued  = runner.JobQueued
+	JobStarted = runner.JobStarted
+	JobDone    = runner.JobDone
+)
+
+// NewRunCache returns an empty in-memory result cache; share one across
+// RunSuite / ablation calls so overlapping points simulate only once.
+func NewRunCache() *RunCache { return runner.NewCache() }
+
+// OpenRunCache returns a result cache persisted under dir, so repeated
+// figure regenerations across processes never re-simulate a point.
+func OpenRunCache(dir string) (*RunCache, error) { return runner.OpenDiskCache(dir) }
+
+// RunJobs executes jobs on r's worker pool (a nil Runner gets defaults:
+// GOMAXPROCS workers, no cache) and returns results in submission order.
+func RunJobs(ctx context.Context, jobs []Job, r *Runner) ([]RunResult, error) {
+	if r == nil {
+		r = &Runner{}
+	}
+	return r.Run(ctx, jobs)
+}
 
 // Instruction constructors for authoring custom workloads.
 var (
@@ -77,12 +118,18 @@ func Policies() []Policy { return config.AllPolicies() }
 // Run executes one kernel on a machine built from cfg under the given
 // policy and returns its counters.
 func Run(cfg *Config, policy Policy, k *Kernel) (*Stats, error) {
-	return sim.RunOnce(cfg, policy, k, sim.Options{})
+	return sim.RunOnce(context.Background(), cfg, policy, k, sim.Options{})
 }
 
 // RunWithOptions is Run with explicit engine options.
 func RunWithOptions(cfg *Config, policy Policy, k *Kernel, opts Options) (*Stats, error) {
-	return sim.RunOnce(cfg, policy, k, opts)
+	return sim.RunOnce(context.Background(), cfg, policy, k, opts)
+}
+
+// RunContext is Run with explicit engine options and a context: a
+// cancelled context aborts the simulation within a few thousand cycles.
+func RunContext(ctx context.Context, cfg *Config, policy Policy, k *Kernel, opts Options) (*Stats, error) {
+	return sim.RunOnce(ctx, cfg, policy, k, opts)
 }
 
 // Workloads returns the 18 benchmark applications in Table 2 order.

@@ -1,9 +1,13 @@
 // Policysweep: evaluate all four L1D management schemes plus the doubled
 // cache on a set of cache-insufficient applications — a small-scale
-// version of the paper's Figure 10.
+// version of the paper's Figure 10, built on the public experiment
+// runner. All (app, scheme) points are submitted as one batch, execute
+// in parallel, and come back in submission order, so the printed table
+// is identical at every worker count.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,29 +17,45 @@ import (
 func main() {
 	log.SetFlags(0)
 	apps := []string{"CFD", "PVR", "SS", "SRK", "KM"}
+	schemes := dlpsim.PaperSchemes() // Baseline, SB, GP, DLP at 16KB + 32KB
 
-	fmt.Printf("%-6s %10s %14s %18s %8s %8s\n",
-		"app", "Baseline", "Stall-Bypass", "Global-Protection", "DLP", "32KB")
+	var jobs []dlpsim.Job
 	for _, app := range apps {
-		base, err := dlpsim.RunApp(app, dlpsim.Baseline, 16)
+		spec, err := dlpsim.WorkloadByAbbr(app)
 		if err != nil {
 			log.Fatal(err)
 		}
-		row := []float64{1}
-		for _, p := range []dlpsim.Policy{dlpsim.StallBypass, dlpsim.GlobalProtection, dlpsim.DLP} {
-			st, err := dlpsim.RunApp(app, p, 16)
+		k := spec.Generate() // one kernel shared by all five schemes
+		for _, sc := range schemes {
+			cfg, err := dlpsim.ConfigForL1D(sc.L1DKB)
 			if err != nil {
 				log.Fatal(err)
 			}
-			row = append(row, st.IPC()/base.IPC())
+			jobs = append(jobs, dlpsim.Job{
+				Label:  app + " under " + sc.Name,
+				Config: cfg,
+				Policy: sc.Policy,
+				Kernel: k,
+			})
 		}
-		st32, err := dlpsim.RunApp(app, dlpsim.Baseline, 32)
-		if err != nil {
-			log.Fatal(err)
-		}
-		row = append(row, st32.IPC()/base.IPC())
-		fmt.Printf("%-6s %10.2f %14.2f %18.2f %8.2f %8.2f\n",
-			app, row[0], row[1], row[2], row[3], row[4])
+	}
+
+	results, err := dlpsim.RunJobs(context.Background(), jobs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %10s %14s %18s %8s %8s\n",
+		"app", "Baseline", "Stall-Bypass", "Global-Protection", "DLP", "32KB")
+	for i, app := range apps {
+		row := results[i*len(schemes) : (i+1)*len(schemes)]
+		base := row[0].Stats.IPC()
+		fmt.Printf("%-6s %10.2f %14.2f %18.2f %8.2f %8.2f\n", app,
+			1.0,
+			row[1].Stats.IPC()/base,
+			row[2].Stats.IPC()/base,
+			row[3].Stats.IPC()/base,
+			row[4].Stats.IPC()/base)
 	}
 	fmt.Println("\nvalues are IPC normalized to the 16KB baseline (Fig. 10 style)")
 }

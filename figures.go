@@ -1,13 +1,14 @@
 package dlpsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/config"
 	"repro/internal/rdd"
 	"repro/internal/report"
-	"repro/internal/sim"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -57,30 +58,82 @@ type SuiteResult struct {
 	Stats map[string]map[string]*Stats
 }
 
-// RunSuite simulates every Table 2 application under every scheme.
-// progress, when non-nil, is called before each run.
-func RunSuite(schemes []Scheme, progress func(app, scheme string)) (*SuiteResult, error) {
-	res := &SuiteResult{
-		Apps:    workloads.All(),
-		Schemes: schemes,
-		Stats:   make(map[string]map[string]*stats.Stats),
+// SuiteOptions tunes how RunSuite executes its simulations. The zero
+// value (and a nil *SuiteOptions) runs the full Table 2 registry on
+// GOMAXPROCS workers with no result cache.
+type SuiteOptions struct {
+	// Workers is the worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, is consulted before simulating and updated
+	// after. Share one across RunSuite calls (and with ablation sweeps)
+	// so overlapping points are never re-simulated.
+	Cache *runner.Cache
+	// Events receives structured progress notifications (jobs queued /
+	// running / done, cache hits, per-job wall time).
+	Events runner.Events
+	// Apps restricts the suite to the given applications; nil means the
+	// full Table 2 registry. Used by tests and partial regenerations.
+	Apps []Workload
+}
+
+// RunSuite simulates every application under every scheme on a parallel
+// worker pool. The result tables are deterministic regardless of worker
+// count or completion order: jobs are scattered back into the
+// (app, scheme) grid by submission index, and the engine itself is
+// deterministic, so same jobs + any schedule = same tables.
+func RunSuite(ctx context.Context, schemes []Scheme, opts *SuiteOptions) (*SuiteResult, error) {
+	if opts == nil {
+		opts = &SuiteOptions{}
 	}
-	for _, spec := range res.Apps {
-		k := spec.Generate()
-		res.Stats[spec.Abbr] = make(map[string]*stats.Stats)
+	apps := opts.Apps
+	if apps == nil {
+		apps = workloads.All()
+	}
+
+	// One config per scheme, built and validated once — not once per
+	// (app, scheme) pair as the old serial loop did.
+	cfgs := make([]*config.Config, len(schemes))
+	for i, sc := range schemes {
+		cfg, err := config.ByL1DSize(sc.L1DKB)
+		if err != nil {
+			return nil, err
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		cfgs[i] = cfg
+	}
+
+	jobs := make([]runner.Job, 0, len(apps)*len(schemes))
+	for _, spec := range apps {
+		k := spec.Generate() // one kernel shared by every scheme's job
+		for si, sc := range schemes {
+			jobs = append(jobs, runner.Job{
+				Label:  spec.Abbr + " under " + sc.Name,
+				Config: cfgs[si],
+				Policy: sc.Policy,
+				Kernel: k,
+			})
+		}
+	}
+
+	r := &runner.Runner{Workers: opts.Workers, Cache: opts.Cache, Events: opts.Events}
+	results, err := r.Run(ctx, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SuiteResult{
+		Apps:    apps,
+		Schemes: schemes,
+		Stats:   make(map[string]map[string]*stats.Stats, len(apps)),
+	}
+	i := 0
+	for _, spec := range apps {
+		res.Stats[spec.Abbr] = make(map[string]*stats.Stats, len(schemes))
 		for _, sc := range schemes {
-			if progress != nil {
-				progress(spec.Abbr, sc.Name)
-			}
-			cfg, err := config.ByL1DSize(sc.L1DKB)
-			if err != nil {
-				return nil, err
-			}
-			st, err := sim.RunOnce(cfg, sc.Policy, k, sim.Options{})
-			if err != nil {
-				return nil, fmt.Errorf("%s under %s: %w", spec.Abbr, sc.Name, err)
-			}
-			res.Stats[spec.Abbr][sc.Name] = st
+			res.Stats[spec.Abbr][sc.Name] = results[i].Stats
+			i++
 		}
 	}
 	return res, nil

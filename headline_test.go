@@ -1,6 +1,7 @@
 package dlpsim
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -24,7 +25,7 @@ func paperSuite(t testing.TB) *SuiteResult {
 		}
 	}
 	suiteOnce.Do(func() {
-		suiteRes, suiteErr = RunSuite(PaperSchemes(), nil)
+		suiteRes, suiteErr = RunSuite(context.Background(), PaperSchemes(), nil)
 	})
 	if suiteErr != nil {
 		t.Fatalf("suite failed: %v", suiteErr)

@@ -1,0 +1,160 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Key returns the job's content hash: a stable digest of everything
+// that determines the simulation's outcome — the full hardware
+// configuration, the policy, the canonicalized engine options, and the
+// serialized kernel trace. Two jobs with equal Key produce identical
+// Stats (the engine is deterministic), which is what makes result reuse
+// sound. Labels are excluded: they are presentation, not input.
+func (j Job) Key() string {
+	h := sha256.New()
+	// Config has only value fields, so %#v is a canonical encoding.
+	fmt.Fprintf(h, "config|%#v\n", *j.Config)
+	fmt.Fprintf(h, "policy|%d\n", j.Policy)
+	o := j.Opts.Canonical()
+	fmt.Fprintf(h, "opts|%d|%g|%d\n", o.MaxCycles, *o.BackgroundFlitsPerKInsn, o.InjectionRate)
+	fmt.Fprintf(h, "kernel|%s\n", kernelDigest(j.Kernel))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// kernelDigests memoizes trace digests per kernel pointer: a suite
+// reuses one generated kernel across every scheme, so without the memo
+// each scheme would re-serialize the same trace.
+var kernelDigests sync.Map // *trace.Kernel -> string
+
+func kernelDigest(k *trace.Kernel) string {
+	if d, ok := kernelDigests.Load(k); ok {
+		return d.(string)
+	}
+	h := sha256.New()
+	if _, err := k.WriteTo(h); err != nil {
+		// An unserializable kernel cannot be content-addressed; give it
+		// an identity-based digest so it is simply never shared.
+		return fmt.Sprintf("unserializable-%p", k)
+	}
+	d := hex.EncodeToString(h.Sum(nil))
+	kernelDigests.Store(k, d)
+	return d
+}
+
+// Cache is a content-addressed store of simulation results keyed by
+// Job.Key. It always holds results in memory; when opened with
+// OpenDiskCache it additionally persists every entry as JSON so results
+// survive across processes. All methods are safe for concurrent use,
+// and both Get and Put work on snapshots — a caller can never corrupt a
+// cached entry through a returned pointer.
+type Cache struct {
+	mu     sync.Mutex
+	mem    map[string]*stats.Stats
+	dir    string // empty: memory-only
+	hits   uint64
+	misses uint64
+}
+
+// NewCache returns an empty in-memory cache.
+func NewCache() *Cache {
+	return &Cache{mem: make(map[string]*stats.Stats)}
+}
+
+// OpenDiskCache returns a cache backed by dir (created if needed).
+// Entries are written as <key>.json and loaded lazily on Get, so a
+// fresh process reuses every point an earlier run simulated.
+func OpenDiskCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: cache dir: %w", err)
+	}
+	c := NewCache()
+	c.dir = dir
+	return c, nil
+}
+
+// Get returns a snapshot of the cached result for key, if present.
+func (c *Cache) Get(key string) (*stats.Stats, bool) {
+	c.mu.Lock()
+	if st, ok := c.mem[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return st.Clone(), true
+	}
+	dir := c.dir
+	c.mu.Unlock()
+
+	if dir != "" {
+		if b, err := os.ReadFile(filepath.Join(dir, key+".json")); err == nil {
+			st := &stats.Stats{}
+			if err := json.Unmarshal(b, st); err == nil {
+				c.mu.Lock()
+				c.mem[key] = st
+				c.hits++
+				c.mu.Unlock()
+				return st.Clone(), true
+			}
+		}
+	}
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores a snapshot of st under key.
+func (c *Cache) Put(key string, st *stats.Stats) {
+	snap := st.Clone()
+	c.mu.Lock()
+	c.mem[key] = snap
+	dir := c.dir
+	c.mu.Unlock()
+
+	if dir == "" {
+		return
+	}
+	// Persist via rename so concurrent writers and readers never see a
+	// torn file; persistence failures degrade to memory-only caching.
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return
+	}
+	path := filepath.Join(dir, key+".json")
+	tmp, err := os.CreateTemp(dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(b); err == nil {
+		err = tmp.Close()
+		if err == nil {
+			_ = os.Rename(tmp.Name(), path)
+			return
+		}
+	} else {
+		tmp.Close()
+	}
+	_ = os.Remove(tmp.Name())
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// Counters returns how many Gets were served from the cache and how
+// many fell through to simulation.
+func (c *Cache) Counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,226 @@
+// Package runner is the shared execution layer for cycle-level
+// simulation experiments: it runs batches of independent simulation
+// jobs on a bounded worker pool, deduplicates repeated points through a
+// content-addressed result cache, threads context cancellation into the
+// engine's cycle loop, and reports structured progress events.
+//
+// Every experiment driver in the repository — the figure suite
+// (RunSuite), the ablation sweeps, and the CLIs — builds a []Job and
+// hands it to a Runner instead of hand-rolling its own loop over
+// sim.RunOnce. Results always come back in submission order, so callers
+// keep deterministic output no matter how the pool schedules the work:
+// same jobs, any schedule, any worker count → same tables.
+//
+// Jobs may share *config.Config and *trace.Kernel values freely: both
+// are read-only during simulation (each engine keeps its own mutable
+// state), which is what makes kernel reuse across schemes safe under
+// concurrency.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Job is one simulation point: a hardware configuration, an L1D
+// management policy, a kernel, and engine options.
+type Job struct {
+	// Label identifies the job in progress events and error messages,
+	// e.g. "CFD under DLP". It does not affect the cache key.
+	Label  string
+	Config *config.Config
+	Policy config.Policy
+	Kernel *trace.Kernel
+	Opts   sim.Options
+}
+
+// Result is one job's outcome, in the same position as its job in the
+// submitted batch.
+type Result struct {
+	Job    Job
+	Stats  *stats.Stats
+	Err    error
+	Cached bool          // served from the result cache, no simulation ran
+	Wall   time.Duration // simulation wall time (0 when Cached)
+}
+
+// EventKind classifies a progress event.
+type EventKind int
+
+const (
+	// JobQueued fires once per job when the batch is accepted.
+	JobQueued EventKind = iota
+	// JobStarted fires when a worker picks the job up.
+	JobStarted
+	// JobDone fires when the job finishes (simulated, cached, or failed).
+	JobDone
+)
+
+// Event is one structured progress notification. The Queued / Running /
+// Done counters are a consistent snapshot of the whole batch at the
+// moment the event fired.
+type Event struct {
+	Kind   EventKind
+	Index  int    // job position in the submitted batch
+	Label  string // Job.Label
+	Cached bool   // JobDone: result came from the cache
+	Err    error  // JobDone: the job's error, if any
+	Wall   time.Duration // JobDone: simulation wall time
+	Cycles uint64 // JobDone: cycles the simulation ran
+
+	Queued  int // jobs not yet picked up
+	Running int // jobs currently executing
+	Done    int // jobs finished
+}
+
+// Events receives progress notifications. Callbacks are serialized (the
+// runner never calls Events concurrently) but arrive from worker
+// goroutines, not the submitting one.
+type Events func(Event)
+
+// Runner executes batches of jobs. The zero value runs with GOMAXPROCS
+// workers, no cache, and no event callbacks.
+type Runner struct {
+	// Workers is the worker-pool size; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache, when non-nil, is consulted before simulating and updated
+	// after. Share one Cache across batches (or processes, via
+	// OpenDiskCache) to never re-simulate an identical point.
+	Cache *Cache
+	// Events, when non-nil, receives progress notifications.
+	Events Events
+}
+
+// Run executes jobs and returns their results in submission order.
+//
+// On the first job failure the remaining unstarted jobs are cancelled
+// and Run returns the failing job's error (results for jobs that
+// completed before the failure are still populated). Cancelling ctx
+// aborts in-flight simulations within a few thousand simulated cycles.
+func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		queued   = len(jobs)
+		running  int
+		done     int
+		firstErr error // first non-cancellation failure, by completion
+	)
+	emit := func(ev Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch ev.Kind {
+		case JobStarted:
+			queued--
+			running++
+		case JobDone:
+			running--
+			done++
+			if ev.Err != nil && firstErr == nil && ctx.Err() == nil {
+				firstErr = fmt.Errorf("runner: job %q: %w", ev.Label, ev.Err)
+				cancel()
+			}
+		}
+		if r.Events != nil {
+			ev.Queued, ev.Running, ev.Done = queued, running, done
+			r.Events(ev)
+		}
+	}
+	if r.Events != nil {
+		mu.Lock()
+		for i := range jobs {
+			r.Events(Event{Kind: JobQueued, Index: i, Label: jobs[i].Label,
+				Queued: queued, Running: running, Done: done})
+		}
+		mu.Unlock()
+	}
+
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := range jobs {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = r.runOne(ctx, i, jobs[i], emit)
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return results, err
+	}
+	// No job failed on its own; surface a caller cancellation if any.
+	if ctx.Err() != nil {
+		return results, ctx.Err()
+	}
+	for i := range results {
+		if results[i].Err != nil {
+			return results, fmt.Errorf("runner: job %q: %w", jobs[i].Label, results[i].Err)
+		}
+	}
+	return results, nil
+}
+
+// runOne executes (or recalls) a single job.
+func (r *Runner) runOne(ctx context.Context, i int, j Job, emit func(Event)) Result {
+	emit(Event{Kind: JobStarted, Index: i, Label: j.Label})
+	if r.Cache != nil {
+		if st, ok := r.Cache.Get(j.Key()); ok {
+			emit(Event{Kind: JobDone, Index: i, Label: j.Label, Cached: true, Cycles: st.Cycles})
+			return Result{Job: j, Stats: st, Cached: true}
+		}
+	}
+	start := time.Now()
+	st, err := sim.RunOnce(ctx, j.Config, j.Policy, j.Kernel, j.Opts)
+	wall := time.Since(start)
+	if err == nil && r.Cache != nil {
+		r.Cache.Put(j.Key(), st)
+	}
+	ev := Event{Kind: JobDone, Index: i, Label: j.Label, Err: err, Wall: wall}
+	if st != nil {
+		ev.Cycles = st.Cycles
+	}
+	emit(ev)
+	return Result{Job: j, Stats: st, Err: err, Wall: wall}
+}

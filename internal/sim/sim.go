@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/addr"
@@ -22,28 +23,43 @@ type Options struct {
 	MaxCycles uint64
 	// BackgroundFlitsPerKInsn models L1I/L1C/L1T traffic sharing the
 	// interconnect (§6.4): flits added per 1000 thread instructions.
-	// Negative disables; 0 means the default (60).
-	BackgroundFlitsPerKInsn float64
+	// nil means the default (60); point at an explicit value — including
+	// 0, e.g. sim.Float(0), to disable the model. Negative values are
+	// treated as 0.
+	BackgroundFlitsPerKInsn *float64
 	// InjectionRate is the max packets one L1D hands to the ICNT per
 	// cycle; 0 means the default (2).
 	InjectionRate int
 }
 
+// Float returns a pointer to v, for populating optional Options fields:
+// Options{BackgroundFlitsPerKInsn: sim.Float(0)} disables background
+// traffic, which the old zero-means-default encoding could not express.
+func Float(v float64) *float64 { return &v }
+
 func (o Options) withDefaults() Options {
 	if o.MaxCycles == 0 {
 		o.MaxCycles = 50_000_000
 	}
-	if o.BackgroundFlitsPerKInsn == 0 {
-		o.BackgroundFlitsPerKInsn = 60
-	}
-	if o.BackgroundFlitsPerKInsn < 0 {
-		o.BackgroundFlitsPerKInsn = 0
+	switch {
+	case o.BackgroundFlitsPerKInsn == nil:
+		o.BackgroundFlitsPerKInsn = Float(60)
+	case *o.BackgroundFlitsPerKInsn < 0:
+		o.BackgroundFlitsPerKInsn = Float(0)
+	default:
+		// Private copy so the engine never aliases caller memory.
+		o.BackgroundFlitsPerKInsn = Float(*o.BackgroundFlitsPerKInsn)
 	}
 	if o.InjectionRate == 0 {
 		o.InjectionRate = 2
 	}
 	return o
 }
+
+// Canonical resolves every default and sentinel to its effective value,
+// so two Options that drive the engine identically compare — and hash —
+// identically. The runner's result cache keys on this form.
+func (o Options) Canonical() Options { return o.withDefaults() }
 
 // Engine is one simulated GPU.
 type Engine struct {
@@ -85,7 +101,10 @@ func New(cfg *config.Config, policy config.Policy, opts Options) (*Engine, error
 }
 
 // Run executes the kernel to completion and returns aggregated stats.
-func (e *Engine) Run(k *trace.Kernel) (*stats.Stats, error) {
+// The context is checked periodically inside the cycle loop, so a
+// cancelled sweep stops within a few thousand simulated cycles instead
+// of running its kernels to completion.
+func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error) {
 	if err := k.Validate(e.cfg.WarpSize); err != nil {
 		return nil, err
 	}
@@ -95,6 +114,14 @@ func (e *Engine) Run(k *trace.Kernel) (*stats.Stats, error) {
 
 	var cycle uint64
 	for cycle = 1; cycle <= e.opts.MaxCycles; cycle++ {
+		if cycle&4095 == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("sim: kernel %q aborted after %d cycles: %w",
+					k.Name, cycle, ctx.Err())
+			default:
+			}
+		}
 		e.step(cycle)
 		if cycle%32 == 0 && e.quiescent() {
 			break
@@ -109,7 +136,7 @@ func (e *Engine) Run(k *trace.Kernel) (*stats.Stats, error) {
 
 	total := e.collect()
 	total.Cycles = cycle
-	total.ICNTFlits += uint64(e.opts.BackgroundFlitsPerKInsn * float64(total.Instructions) / 1000)
+	total.ICNTFlits += uint64(*e.opts.BackgroundFlitsPerKInsn * float64(total.Instructions) / 1000)
 	if err := total.CheckConservation(); err != nil {
 		return nil, err
 	}
@@ -198,10 +225,10 @@ func (e *Engine) collect() *stats.Stats {
 
 // RunOnce is the package-level convenience entry point: build an engine
 // and run one kernel under one policy.
-func RunOnce(cfg *config.Config, policy config.Policy, k *trace.Kernel, opts Options) (*stats.Stats, error) {
+func RunOnce(ctx context.Context, cfg *config.Config, policy config.Policy, k *trace.Kernel, opts Options) (*stats.Stats, error) {
 	e, err := New(cfg, policy, opts)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run(k)
+	return e.Run(ctx, k)
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -40,7 +42,7 @@ func streamKernel(name string, blocks, warpsPerBlock, linesPerWarp, touches int)
 
 func mustRun(t *testing.T, cfg *config.Config, policy config.Policy, k *trace.Kernel) *stats.Stats {
 	t.Helper()
-	st, err := RunOnce(cfg, policy, k, Options{})
+	st, err := RunOnce(context.Background(), cfg, policy, k, Options{})
 	if err != nil {
 		t.Fatalf("RunOnce(%s, %s): %v", policy, k.Name, err)
 	}
@@ -79,7 +81,7 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestInvalidKernelRejected(t *testing.T) {
-	if _, err := RunOnce(config.Baseline(), config.PolicyBaseline, &trace.Kernel{Name: "x"}, Options{}); err == nil {
+	if _, err := RunOnce(context.Background(), config.Baseline(), config.PolicyBaseline, &trace.Kernel{Name: "x"}, Options{}); err == nil {
 		t.Error("empty kernel accepted")
 	}
 }
@@ -94,7 +96,7 @@ func TestInvalidConfigRejected(t *testing.T) {
 
 func TestCycleLimitEnforced(t *testing.T) {
 	k := streamKernel("long", 8, 4, 64, 4)
-	_, err := RunOnce(config.Baseline(), config.PolicyBaseline, k, Options{MaxCycles: 50})
+	_, err := RunOnce(context.Background(), config.Baseline(), config.PolicyBaseline, k, Options{MaxCycles: 50})
 	if err == nil {
 		t.Error("runaway kernel not reported")
 	}
@@ -171,11 +173,11 @@ func TestCacheFriendlyKernelUnharmed(t *testing.T) {
 
 func TestBackgroundTrafficAccounted(t *testing.T) {
 	k := streamKernel("bg", 2, 2, 4, 1)
-	with, err := RunOnce(config.Baseline(), config.PolicyBaseline, k, Options{BackgroundFlitsPerKInsn: 100})
+	with, err := RunOnce(context.Background(), config.Baseline(), config.PolicyBaseline, k, Options{BackgroundFlitsPerKInsn: Float(100)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := RunOnce(config.Baseline(), config.PolicyBaseline, k, Options{BackgroundFlitsPerKInsn: -1})
+	without, err := RunOnce(context.Background(), config.Baseline(), config.PolicyBaseline, k, Options{BackgroundFlitsPerKInsn: Float(0)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,6 +188,41 @@ func TestBackgroundTrafficAccounted(t *testing.T) {
 	}
 	if with.ICNTDataFlits != without.ICNTDataFlits {
 		t.Error("background traffic leaked into data flits")
+	}
+}
+
+// TestBackgroundTrafficSentinels pins the Options encoding: nil means
+// the default (60), an explicit zero disables, negatives clamp to zero.
+// Before the pointer encoding, an intentional zero was inexpressible.
+func TestBackgroundTrafficSentinels(t *testing.T) {
+	if got := *(Options{}).Canonical().BackgroundFlitsPerKInsn; got != 60 {
+		t.Errorf("nil background flits canonicalized to %g, want default 60", got)
+	}
+	if got := *(Options{BackgroundFlitsPerKInsn: Float(0)}).Canonical().BackgroundFlitsPerKInsn; got != 0 {
+		t.Errorf("explicit zero canonicalized to %g, want 0", got)
+	}
+	if got := *(Options{BackgroundFlitsPerKInsn: Float(-1)}).Canonical().BackgroundFlitsPerKInsn; got != 0 {
+		t.Errorf("negative canonicalized to %g, want 0", got)
+	}
+	v := 7.0
+	o := Options{BackgroundFlitsPerKInsn: &v}
+	if o.Canonical().BackgroundFlitsPerKInsn == &v {
+		t.Error("Canonical aliases caller memory")
+	}
+}
+
+// TestRunCancelled: a cancelled context aborts the cycle loop promptly
+// with the cause attached.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	k := streamKernel("cancel", 8, 4, 64, 4)
+	_, err := RunOnce(ctx, config.Baseline(), config.PolicyBaseline, k, Options{})
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not wrap context.Canceled", err)
 	}
 }
 
@@ -224,7 +261,7 @@ func TestRandomKernelsAllPolicies(t *testing.T) {
 			return k
 		}
 		for _, p := range config.AllPolicies() {
-			a, err := RunOnce(config.Baseline(), p, build(), Options{MaxCycles: 2_000_000})
+			a, err := RunOnce(context.Background(), config.Baseline(), p, build(), Options{MaxCycles: 2_000_000})
 			if err != nil {
 				t.Logf("policy %v: %v", p, err)
 				return false
@@ -233,7 +270,7 @@ func TestRandomKernelsAllPolicies(t *testing.T) {
 				t.Logf("policy %v: %v", p, err)
 				return false
 			}
-			b, err := RunOnce(config.Baseline(), p, build(), Options{MaxCycles: 2_000_000})
+			b, err := RunOnce(context.Background(), config.Baseline(), p, build(), Options{MaxCycles: 2_000_000})
 			if err != nil || *a != *b {
 				t.Logf("policy %v: nondeterministic or failed rerun", p)
 				return false

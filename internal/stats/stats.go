@@ -73,6 +73,15 @@ func (s *Stats) MemoryAccessRatio() float64 {
 	return float64(s.L1DAccesses+s.StoreAccesses) / float64(s.Instructions)
 }
 
+// Clone returns an independent snapshot of s. The experiment runner's
+// result cache stores and serves clones so no consumer can corrupt a
+// cached entry (Stats is a flat value struct, so a shallow copy is a
+// deep copy).
+func (s *Stats) Clone() *Stats {
+	c := *s
+	return &c
+}
+
 // Add accumulates other into s.
 func (s *Stats) Add(other *Stats) {
 	s.Cycles += other.Cycles

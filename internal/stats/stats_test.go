@@ -218,3 +218,15 @@ func TestHistogramFractionsSumToOne(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := &Stats{Cycles: 10, L1DHits: 5, ICNTFlits: 7}
+	c := s.Clone()
+	if *c != *s {
+		t.Fatalf("clone differs: %+v vs %+v", c, s)
+	}
+	c.L1DHits = 99
+	if s.L1DHits != 5 {
+		t.Error("mutating the clone changed the original")
+	}
+}
