@@ -1,11 +1,15 @@
 # Build/test entry points. `make check` is the PR gate: it builds and
-# vets every package, then runs the short test suite under the race
-# detector, which exercises the internal/runner worker pool and the
-# suite-level order-independence tests concurrently.
+# vets every package (vet runs over ./..., so new packages such as
+# internal/faultinject are covered automatically), then runs the short
+# test suite under the race detector, which exercises the
+# internal/runner worker pool and the suite-level order-independence
+# tests concurrently. `make faultcheck` runs just the fault-injection
+# suite — panic isolation, retries, deadlines, cache quarantine,
+# KeepGoing determinism — under the race detector.
 
 GO ?= go
 
-.PHONY: all build vet check test figures clean
+.PHONY: all build vet check test faultcheck figures clean
 
 all: build
 
@@ -17,6 +21,10 @@ vet:
 
 check: build vet
 	$(GO) test -race -short ./...
+
+faultcheck: build
+	$(GO) test -race ./internal/faultinject/
+	$(GO) test -race -run 'TestFaultTolerantSuiteAcceptance|TestSelfCheckOutputIdentical' .
 
 # Full suite, including the ~2 min headline reproduction tests.
 test: build vet

@@ -2,7 +2,9 @@ package dlpsim
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/config"
 	"repro/internal/runner"
@@ -87,28 +89,40 @@ func runAblation(ctx context.Context, name string, apps []string, values []int,
 	}
 
 	results, err := r.Run(ctx, jobs)
-	if err != nil {
+	// With a KeepGoing runner a *runner.BatchError carries a complete
+	// results slice whose failed points hold nil Stats; tabulate the
+	// partial sweep (failed cells become NaN → rendered FAILED) and
+	// return it alongside the error. Any other error has no results.
+	if err != nil && !(r.KeepGoing && errors.As(err, new(*runner.BatchError))) {
 		return nil, err
 	}
 
+	ipc := func(res runner.Result) float64 {
+		if res.Stats == nil {
+			return math.NaN()
+		}
+		return res.Stats.IPC()
+	}
 	base := make(map[string]float64, len(apps))
 	for i, app := range apps {
-		base[app] = results[i].Stats.IPC()
+		base[app] = ipc(results[i])
 	}
 	idx := len(apps)
 	for _, v := range values {
 		pt := AblationPoint{Value: v, Speedups: make(map[string]float64, len(apps))}
 		var ratios []float64
 		for _, app := range apps {
-			sp := results[idx].Stats.IPC() / base[app]
+			sp := ipc(results[idx]) / base[app] // NaN in either operand stays NaN
 			pt.Speedups[app] = sp
-			ratios = append(ratios, sp)
+			if !math.IsNaN(sp) {
+				ratios = append(ratios, sp)
+			}
 			idx++
 		}
-		pt.GeoMean = stats.GeoMean(ratios)
+		pt.GeoMean = stats.GeoMean(ratios) // NaN when every app failed
 		ab.Points = append(ab.Points, pt)
 	}
-	return ab, nil
+	return ab, err
 }
 
 // AblateSamplePeriod sweeps the sampling period (§4.1.4; paper: 200
@@ -141,8 +155,16 @@ func AblateWarpLimit(ctx context.Context, apps []string, r *Runner) (*Ablation, 
 		func(cfg *config.Config, v int) { cfg.MaxActiveWarps = v }, r)
 }
 
-// Render formats the ablation as an aligned table.
+// Render formats the ablation as an aligned table. NaN cells — points
+// whose job failed in a keep-going sweep — render as FAILED rather than
+// a number, so a partial table can never be mistaken for a complete one.
 func (a *Ablation) Render() string {
+	cell := func(width int, v float64) string {
+		if math.IsNaN(v) {
+			return fmt.Sprintf("%*s", width, "FAILED")
+		}
+		return fmt.Sprintf("%*.3f", width, v)
+	}
 	out := fmt.Sprintf("== ablation: %s ==\n%-8s", a.Name, "value")
 	for _, app := range a.Apps {
 		out += fmt.Sprintf("%8s", app)
@@ -151,9 +173,9 @@ func (a *Ablation) Render() string {
 	for _, pt := range a.Points {
 		out += fmt.Sprintf("%-8d", pt.Value)
 		for _, app := range a.Apps {
-			out += fmt.Sprintf("%8.3f", pt.Speedups[app])
+			out += cell(8, pt.Speedups[app])
 		}
-		out += fmt.Sprintf("%10.3f\n", pt.GeoMean)
+		out += cell(10, pt.GeoMean) + "\n"
 	}
 	return out
 }

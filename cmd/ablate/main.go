@@ -13,10 +13,17 @@
 //	ablate -sweep pd-bits       # one sweep
 //	ablate -apps CFD,KM         # choose applications
 //	ablate -j 8                 # worker-pool size (default GOMAXPROCS)
+//
+// Failure semantics: the first failing run cancels the sweep unless
+// -keep-going is set, in which case failed points render as FAILED
+// cells and the process exits 1 after printing every sweep it could.
+// -retries and -timeout bound transient failures and per-job wall
+// time; -selfcheck turns on the engine's sampled invariant sweeps.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +42,10 @@ func main() {
 		"comma-separated application abbreviations")
 	workers := flag.Int("j", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	keepGoing := flag.Bool("keep-going", false, "run every job even after failures; render FAILED cells and exit 1")
+	retries := flag.Int("retries", 0, "extra attempts for transiently failed jobs")
+	timeout := flag.Duration("timeout", 0, "per-job wall-clock budget (e.g. 5m); 0 = none")
+	selfCheck := flag.Bool("selfcheck", false, "enable sampled engine invariant sweeps on every job")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -48,12 +59,21 @@ func main() {
 	// One runner — one worker pool, one result cache — serves every
 	// sweep, so the shared baseline points are simulated exactly once.
 	r := &dlpsim.Runner{
-		Workers: *workers,
-		Cache:   dlpsim.NewRunCache(),
+		Workers:   *workers,
+		Cache:     dlpsim.NewRunCache(),
+		KeepGoing: *keepGoing,
+		Retries:   *retries,
+		Timeout:   *timeout,
+		SelfCheck: *selfCheck,
 		Events: func(ev dlpsim.RunEvent) {
-			if !*quiet && ev.Kind == dlpsim.JobDone && !ev.Cached && ev.Err == nil {
-				fmt.Fprintf(os.Stderr, "ran %s (%.1fs)\n", ev.Label, ev.Wall.Seconds())
+			if *quiet || ev.Kind != dlpsim.JobDone || ev.Cached {
+				return
 			}
+			if ev.Err != nil {
+				fmt.Fprintf(os.Stderr, "FAILED %s: %v\n", ev.Label, ev.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "ran %s (%.1fs)\n", ev.Label, ev.Wall.Seconds())
 		},
 	}
 
@@ -64,19 +84,30 @@ func main() {
 		"warp-limit":    dlpsim.AblateWarpLimit,
 	}
 	order := []string{"sample-period", "pd-bits", "vta-ways", "warp-limit"}
-	ran := false
+	ran, partial := false, false
 	for _, name := range order {
 		if *sweep != "all" && *sweep != name {
 			continue
 		}
 		ab, err := sweeps[name](ctx, apps, r)
 		if err != nil {
-			log.Fatal(err)
+			// A keep-going sweep returns its partial table alongside a
+			// *BatchError: render the FAILED cells, summarize the
+			// failures, and move on to the next sweep.
+			var be *dlpsim.BatchError
+			if !(*keepGoing && errors.As(err, &be) && ab != nil) {
+				log.Fatal(err)
+			}
+			partial = true
+			fmt.Fprintln(os.Stderr, be.Error())
 		}
 		fmt.Println(ab.Render())
 		ran = true
 	}
 	if !ran {
 		log.Fatalf("unknown sweep %q", *sweep)
+	}
+	if partial {
+		os.Exit(1)
 	}
 }

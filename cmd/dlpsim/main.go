@@ -6,6 +6,12 @@
 //	dlpsim -app CFD -policy dlp
 //	dlpsim -app BFS -policy baseline -size 32
 //	dlpsim -list
+//
+// Failure semantics: the run executes inside the shared experiment
+// runner, so a panicking or wedged engine surfaces as a structured
+// error instead of a crash. -timeout D bounds wall time, -retries N
+// re-runs transient failures, and -selfcheck enables the engine's
+// sampled invariant sweeps (results are identical either way).
 package main
 
 import (
@@ -20,7 +26,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/config"
-	"repro/internal/sim"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -36,6 +42,9 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	dump := flag.String("dump", "", "write the generated kernel trace to this file and exit")
 	traceFile := flag.String("trace", "", "run a kernel from this trace file instead of -app")
+	retries := flag.Int("retries", 0, "extra attempts on transient failures")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (e.g. 5m); 0 = none")
+	selfCheck := flag.Bool("selfcheck", false, "enable sampled engine invariant sweeps")
 	flag.Parse()
 
 	if *list {
@@ -96,10 +105,20 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	st, err := sim.RunOnce(ctx, cfg, pol, kernel, sim.Options{})
+	// Even a single run goes through the experiment runner: panics are
+	// recovered into errors, the deadline and retry machinery apply, and
+	// behavior matches what the same point does inside a suite.
+	r := &runner.Runner{Workers: 1, Retries: *retries, Timeout: *timeout, SelfCheck: *selfCheck}
+	results, err := r.Run(ctx, []runner.Job{{
+		Label:  fmt.Sprintf("%s under %s", kernel.Name, pol),
+		Config: cfg,
+		Policy: pol,
+		Kernel: kernel,
+	}})
 	if err != nil {
 		log.Fatal(err)
 	}
+	st := results[0].Stats
 	if *asJSON {
 		out := struct {
 			App      string       `json:"app"`

@@ -18,12 +18,21 @@
 //	paperfigs -cache .figcache  # persist results across runs
 //	paperfigs -quiet          # suppress per-run progress
 //
+// Failure semantics: by default the first failing simulation cancels
+// the batch. With -keep-going the whole suite runs to completion,
+// failed points render as FAILED cells, every failure is summarized on
+// stderr, and the exit status is 1. -retries N re-runs transiently
+// failed jobs, -timeout D bounds each job's wall time, and -selfcheck
+// turns on the engine's sampled invariant sweeps (results are
+// byte-identical either way; only a broken engine build notices).
+//
 // Experiment ids: table2, overhead, fig3, fig4, fig5, fig6, fig7,
 // fig10, fig11a, fig11b, fig12a, fig12b, fig13.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +53,10 @@ func main() {
 	format := flag.String("format", "text", "text | csv")
 	workers := flag.Int("j", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache", "", "persist simulation results under this directory")
+	keepGoing := flag.Bool("keep-going", false, "run every job even after failures; render FAILED cells and exit 1")
+	retries := flag.Int("retries", 0, "extra attempts for transiently failed jobs")
+	timeout := flag.Duration("timeout", 0, "per-job wall-clock budget (e.g. 5m); 0 = none")
+	selfCheck := flag.Bool("selfcheck", false, "enable sampled engine invariant sweeps on every job")
 	flag.Parse()
 	useCSV := strings.EqualFold(*format, "csv")
 
@@ -77,12 +90,44 @@ func main() {
 			return
 		}
 		simulated++
-		if !*quiet && ev.Err == nil {
-			fmt.Fprintf(os.Stderr, "ran %s (%.1fs, %d/%d done)\n",
-				ev.Label, ev.Wall.Seconds(), ev.Done, ev.Done+ev.Running+ev.Queued)
+		if *quiet {
+			return
 		}
+		if ev.Err != nil {
+			fmt.Fprintf(os.Stderr, "FAILED %s: %v\n", ev.Label, ev.Err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "ran %s (%.1fs, %d/%d done)\n",
+			ev.Label, ev.Wall.Seconds(), ev.Done, ev.Done+ev.Running+ev.Queued)
 	}
-	suiteOpts := &dlpsim.SuiteOptions{Workers: *workers, Cache: cache, Events: events}
+	suiteOpts := &dlpsim.SuiteOptions{
+		Workers:   *workers,
+		Cache:     cache,
+		Events:    events,
+		KeepGoing: *keepGoing,
+		Retries:   *retries,
+		Timeout:   *timeout,
+		SelfCheck: *selfCheck,
+	}
+
+	// In -keep-going mode a suite may come back partial: usable tables
+	// with FAILED cells plus a *BatchError listing what went wrong. The
+	// failures are summarized on stderr and remembered so the process
+	// can exit non-zero after rendering everything it has.
+	partial := false
+	runSuite := func(schemes []dlpsim.Scheme) *dlpsim.SuiteResult {
+		suite, err := dlpsim.RunSuite(ctx, schemes, suiteOpts)
+		if err != nil {
+			var be *dlpsim.BatchError
+			if *keepGoing && errors.As(err, &be) && suite != nil {
+				partial = true
+				fmt.Fprintln(os.Stderr, be.Error())
+				return suite
+			}
+			log.Fatal(err)
+		}
+		return suite
+	}
 
 	if has("table2") {
 		fmt.Println(dlpsim.Table2())
@@ -120,16 +165,14 @@ func main() {
 	}
 
 	if has("fig5") {
-		suite, err := dlpsim.RunSuite(ctx, dlpsim.AssocSchemes(), suiteOpts)
-		check(err)
+		suite := runSuite(dlpsim.AssocSchemes())
 		renderTable(suite.Fig5IPC())
 	}
 
 	needEval := has("fig10") || has("fig11a") || has("fig11b") ||
 		has("fig12a") || has("fig12b") || has("fig13")
 	if needEval {
-		suite, err := dlpsim.RunSuite(ctx, dlpsim.PaperSchemes(), suiteOpts)
-		check(err)
+		suite := runSuite(dlpsim.PaperSchemes())
 		builders := []struct {
 			id    string
 			build func() (*dlpsim.Table, error)
@@ -148,17 +191,26 @@ func main() {
 			renderTable(b.build())
 		}
 		if has("fig10") {
-			sp, err := suite.Speedups()
-			check(err)
-			fmt.Println("== headline speedups (CI geometric mean vs baseline) ==")
-			for _, sc := range dlpsim.PaperSchemes() {
-				fmt.Printf("%-18s CI x%.3f   CS x%.3f\n", sc.Name, sp[sc.Name]["CI"], sp[sc.Name]["CS"])
+			if partial {
+				// Headline means over an incomplete suite would silently
+				// compare schemes on different application subsets.
+				fmt.Fprintln(os.Stderr, "skipping headline speedups: suite is partial")
+			} else {
+				sp, err := suite.Speedups()
+				check(err)
+				fmt.Println("== headline speedups (CI geometric mean vs baseline) ==")
+				for _, sc := range dlpsim.PaperSchemes() {
+					fmt.Printf("%-18s CI x%.3f   CS x%.3f\n", sc.Name, sp[sc.Name]["CI"], sp[sc.Name]["CS"])
+				}
 			}
 		}
 	}
 	if !*quiet && simulated+recalled > 0 {
 		fmt.Fprintf(os.Stderr, "%d simulations, %d cache hits in %.1fs\n",
 			simulated, recalled, time.Since(start).Seconds())
+	}
+	if partial {
+		os.Exit(1)
 	}
 }
 

@@ -9,6 +9,10 @@
 //
 //	pdtrace -app CFD
 //	pdtrace -app BFS -samples 30
+//
+// -timeout D bounds the replay's wall time; -selfcheck verifies the
+// cache's DLP invariants after every printed sample, so a corrupted
+// protection state is caught at the sample that introduced it.
 package main
 
 import (
@@ -35,10 +39,17 @@ func main() {
 	log.SetPrefix("pdtrace: ")
 	app := flag.String("app", "CFD", "application abbreviation")
 	maxSamples := flag.Int("samples", 20, "sampling periods to trace")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the replay (e.g. 1m); 0 = none")
+	selfCheck := flag.Bool("selfcheck", false, "verify DLP invariants after every printed sample")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	spec, err := workloads.ByAbbr(strings.ToUpper(*app))
 	if err != nil {
@@ -113,6 +124,12 @@ func main() {
 					if s := pdpt.Samples(); s != lastSample {
 						lastSample = s
 						printSample(w, s, prevTDA, prevVTA, pdpt, pcs)
+						if *selfCheck {
+							if err := l1d.CheckInvariants(); err != nil {
+								w.Flush()
+								log.Fatalf("after sample %d: %v", s, err)
+							}
+						}
 					}
 				}
 				ptrs[wi]++
@@ -124,6 +141,11 @@ func main() {
 		}
 	}
 	w.Flush()
+	if *selfCheck {
+		if err := l1d.CheckInvariants(); err != nil {
+			log.Fatalf("after replay: %v", err)
+		}
+	}
 	st := l1d.Stats()
 	fmt.Printf("\nfinal: accesses=%d hits=%d bypasses=%d vta_hits=%d hit_rate=%.3f\n",
 		st.L1DAccesses, st.L1DHits, st.L1DBypasses, st.VTAHits, st.L1DHitRate())

@@ -60,6 +60,30 @@ type (
 	RunEvent = runner.Event
 	// RunEvents receives progress notifications from a Runner.
 	RunEvents = runner.Events
+
+	// BatchError aggregates every job failure of a KeepGoing batch.
+	BatchError = runner.BatchError
+	// JobFailure is one failed job inside a BatchError.
+	JobFailure = runner.JobFailure
+	// JobPanicError is a worker panic recovered into a typed error.
+	JobPanicError = runner.JobPanicError
+	// CancelError summarizes a batch stopped by caller cancellation.
+	CancelError = runner.CancelError
+	// InvariantError is a violated DLP invariant caught by a self-check
+	// (Options.SelfCheck) or an explicit CheckInvariants call.
+	InvariantError = core.InvariantError
+	// SimFunc runs one simulation attempt; Intercept wraps it.
+	SimFunc = runner.SimFunc
+	// Intercept wraps every simulation attempt a Runner makes — the
+	// fault-injection and instrumentation seam (internal/faultinject).
+	Intercept = runner.Intercept
+)
+
+// Transient marks an error as retryable by the Runner's retry loop;
+// IsTransient reports whether an error carries that classification.
+var (
+	Transient   = runner.Transient
+	IsTransient = runner.IsTransient
 )
 
 // Progress-event kinds emitted by the Runner.

@@ -2,8 +2,10 @@ package dlpsim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/rdd"
@@ -74,6 +76,25 @@ type SuiteOptions struct {
 	// Apps restricts the suite to the given applications; nil means the
 	// full Table 2 registry. Used by tests and partial regenerations.
 	Apps []Workload
+	// KeepGoing runs the whole suite even when jobs fail: RunSuite then
+	// returns the partial SuiteResult (failed points hold nil Stats and
+	// render as FAILED cells) together with a *BatchError describing
+	// every failure. Without it the first failure cancels the batch.
+	KeepGoing bool
+	// Retries re-runs a job up to this many extra times when it fails
+	// with a transient error (runner.IsTransient). The engine itself is
+	// deterministic, so this only matters for injected or environmental
+	// failures.
+	Retries int
+	// Timeout bounds each job's wall time; 0 means no deadline.
+	Timeout time.Duration
+	// SelfCheck enables the engine's sampled invariant sweeps
+	// (sim.Options.SelfCheck) on every job. Results are byte-identical
+	// with or without it; only broken engine builds notice.
+	SelfCheck bool
+	// Intercept, when non-nil, wraps every simulation attempt — the
+	// fault-injection seam (see internal/faultinject).
+	Intercept runner.Intercept
 }
 
 // RunSuite simulates every application under every scheme on a parallel
@@ -117,9 +138,23 @@ func RunSuite(ctx context.Context, schemes []Scheme, opts *SuiteOptions) (*Suite
 		}
 	}
 
-	r := &runner.Runner{Workers: opts.Workers, Cache: opts.Cache, Events: opts.Events}
+	r := &runner.Runner{
+		Workers:   opts.Workers,
+		Cache:     opts.Cache,
+		Events:    opts.Events,
+		KeepGoing: opts.KeepGoing,
+		Retries:   opts.Retries,
+		Timeout:   opts.Timeout,
+		SelfCheck: opts.SelfCheck,
+		Intercept: opts.Intercept,
+	}
 	results, err := r.Run(ctx, jobs)
-	if err != nil {
+	// In KeepGoing mode a *runner.BatchError still comes with a full
+	// results slice (failed points carry nil Stats); build the partial
+	// result and hand both back so callers can render FAILED cells and
+	// report the failures. Every other error means there is nothing to
+	// tabulate.
+	if err != nil && !(opts.KeepGoing && errors.As(err, new(*runner.BatchError))) {
 		return nil, err
 	}
 
@@ -136,7 +171,7 @@ func RunSuite(ctx context.Context, schemes []Scheme, opts *SuiteOptions) (*Suite
 			i++
 		}
 	}
-	return res, nil
+	return res, err
 }
 
 // apps/classes return the column labels shared by every series table.
@@ -152,20 +187,29 @@ func (r *SuiteResult) appLabels() ([]string, []string) {
 
 // seriesTable builds a table with one row per scheme where each value is
 // extract(stats) normalized by the first scheme's value when normalize
-// is set.
+// is set. Points with no result — jobs that failed in a KeepGoing run —
+// become NaN, which report.Table renders as FAILED and excludes from
+// the geometric means; a failed baseline point poisons (NaNs) the whole
+// column, which is correct because nothing can be normalized against it.
 func (r *SuiteResult) seriesTable(title string, normalize bool, extract func(*Stats) float64) (*Table, error) {
+	val := func(st *Stats) float64 {
+		if st == nil {
+			return math.NaN()
+		}
+		return extract(st)
+	}
 	apps, classes := r.appLabels()
 	t := &Table{Title: title, Apps: apps, Classes: classes}
 	base := make([]float64, len(r.Apps))
 	for i, spec := range r.Apps {
-		base[i] = extract(r.Stats[spec.Abbr][r.Schemes[0].Name])
+		base[i] = val(r.Stats[spec.Abbr][r.Schemes[0].Name])
 	}
 	for _, sc := range r.Schemes {
 		vals := make([]float64, len(r.Apps))
 		for i, spec := range r.Apps {
-			v := extract(r.Stats[spec.Abbr][sc.Name])
+			v := val(r.Stats[spec.Abbr][sc.Name])
 			if normalize {
-				if base[i] != 0 {
+				if base[i] != 0 { // NaN base falls through: v / NaN = NaN
 					v /= base[i]
 				} else {
 					v = 0
@@ -348,7 +392,10 @@ overhead:                  %.2f%%
 }
 
 // Speedups summarizes a suite's headline numbers: the CS and CI
-// geometric-mean IPC of every scheme relative to the first.
+// geometric-mean IPC of every scheme relative to the first. NaN cells
+// (failed points in a partial, KeepGoing suite) are excluded from the
+// means; if every point of a class failed, the resulting NaN geomean is
+// reported as an error rather than a fabricated number.
 func (r *SuiteResult) Speedups() (map[string]map[string]float64, error) {
 	t, err := r.Fig10IPC()
 	if err != nil {
@@ -359,6 +406,9 @@ func (r *SuiteResult) Speedups() (map[string]map[string]float64, error) {
 	for _, s := range t.Series {
 		var cs, ci []float64
 		for i, v := range s.Values {
+			if math.IsNaN(v) {
+				continue
+			}
 			if classes[i] == "CS" {
 				cs = append(cs, v)
 			} else {

@@ -8,6 +8,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 	"text/tabwriter"
 
@@ -41,10 +42,22 @@ func (t *Table) AddSeries(name string, values []float64) error {
 	return nil
 }
 
+// cell formats one table value. NaN is the harness's marker for a point
+// that has no result — its job failed and the suite ran in keep-going
+// mode — and renders as an explicit FAILED cell rather than a number,
+// so partial tables can never be mistaken for complete ones.
+func cell(format string, v float64) string {
+	if math.IsNaN(v) {
+		return "FAILED"
+	}
+	return fmt.Sprintf(format, v)
+}
+
 // groupMean returns the geometric mean of one series restricted to apps
 // of one class. Non-positive entries (e.g. an application whose baseline
-// counter is zero, making normalization meaningless) are skipped rather
-// than poisoning the mean.
+// counter is zero, making normalization meaningless) and NaN entries
+// (failed jobs in a keep-going run) are skipped rather than poisoning
+// the mean. Note NaN > 0 is false, so the one filter covers both.
 func (t *Table) groupMean(s Series, class string) float64 {
 	var vals []float64
 	for i, c := range t.Classes {
@@ -79,12 +92,12 @@ func (t *Table) Render(w io.Writer) error {
 		cells := make([]string, 0, len(s.Values)+3)
 		cells = append(cells, s.Name)
 		for _, v := range s.Values {
-			cells = append(cells, fmt.Sprintf(format, v))
+			cells = append(cells, cell(format, v))
 		}
 		if len(t.Classes) == len(t.Apps) {
 			cells = append(cells,
-				fmt.Sprintf(format, t.groupMean(s, "CS")),
-				fmt.Sprintf(format, t.groupMean(s, "CI")))
+				cell(format, t.groupMean(s, "CS")),
+				cell(format, t.groupMean(s, "CI")))
 		}
 		fmt.Fprintln(tw, strings.Join(cells, "\t"))
 	}
@@ -142,12 +155,12 @@ func (t *Table) RenderCSV(w io.Writer) error {
 		row := make([]string, 0, len(header))
 		row = append(row, s.Name)
 		for _, v := range s.Values {
-			row = append(row, fmt.Sprintf(format, v))
+			row = append(row, cell(format, v))
 		}
 		if withMeans {
 			row = append(row,
-				fmt.Sprintf(format, t.groupMean(s, "CS")),
-				fmt.Sprintf(format, t.groupMean(s, "CI")))
+				cell(format, t.groupMean(s, "CS")),
+				cell(format, t.groupMean(s, "CI")))
 		}
 		if err := cw.Write(row); err != nil {
 			return err

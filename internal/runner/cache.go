@@ -18,36 +18,114 @@ import (
 // configuration, the policy, the canonicalized engine options, and the
 // serialized kernel trace. Two jobs with equal Key produce identical
 // Stats (the engine is deterministic), which is what makes result reuse
-// sound. Labels are excluded: they are presentation, not input.
+// sound. Labels, wall-clock budgets (MaxWall) and self-checking
+// (Opts.SelfCheck) are excluded: they are presentation and execution
+// policy, not simulation input.
+//
+// A job whose kernel cannot be serialized has no content address; Key
+// returns "" and the runner treats the job as uncacheable rather than
+// inventing an identity-based key that could collide across processes.
 func (j Job) Key() string {
+	kd, ok := kernelDigest(j.Kernel)
+	if !ok {
+		return ""
+	}
 	h := sha256.New()
 	// Config has only value fields, so %#v is a canonical encoding.
 	fmt.Fprintf(h, "config|%#v\n", *j.Config)
 	fmt.Fprintf(h, "policy|%d\n", j.Policy)
 	o := j.Opts.Canonical()
 	fmt.Fprintf(h, "opts|%d|%g|%d\n", o.MaxCycles, *o.BackgroundFlitsPerKInsn, o.InjectionRate)
-	fmt.Fprintf(h, "kernel|%s\n", kernelDigest(j.Kernel))
+	fmt.Fprintf(h, "kernel|%s\n", kd)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
 // kernelDigests memoizes trace digests per kernel pointer: a suite
 // reuses one generated kernel across every scheme, so without the memo
-// each scheme would re-serialize the same trace.
-var kernelDigests sync.Map // *trace.Kernel -> string
+// each scheme would re-serialize the same trace. Serialization failures
+// are memoized too (as digestEntry{ok: false}), so an unserializable
+// kernel is probed exactly once instead of re-attempting — and
+// re-failing — the full trace walk on every job.
+var kernelDigests sync.Map // *trace.Kernel -> digestEntry
 
-func kernelDigest(k *trace.Kernel) string {
-	if d, ok := kernelDigests.Load(k); ok {
-		return d.(string)
+type digestEntry struct {
+	digest string
+	ok     bool
+}
+
+func kernelDigest(k *trace.Kernel) (string, bool) {
+	if d, loaded := kernelDigests.Load(k); loaded {
+		e := d.(digestEntry)
+		return e.digest, e.ok
 	}
 	h := sha256.New()
 	if _, err := k.WriteTo(h); err != nil {
-		// An unserializable kernel cannot be content-addressed; give it
-		// an identity-based digest so it is simply never shared.
-		return fmt.Sprintf("unserializable-%p", k)
+		// An unserializable kernel cannot be content-addressed. The old
+		// fallback ("unserializable-%p") reused the pointer address,
+		// which a different process — or a later allocation in this one
+		// — can legitimately recycle for a different kernel, silently
+		// serving a wrong cached result. No key at all is the only
+		// sound answer: such jobs always simulate.
+		kernelDigests.Store(k, digestEntry{})
+		return "", false
 	}
-	d := hex.EncodeToString(h.Sum(nil))
-	kernelDigests.Store(k, d)
-	return d
+	e := digestEntry{digest: hex.EncodeToString(h.Sum(nil)), ok: true}
+	kernelDigests.Store(k, e)
+	return e.digest, true
+}
+
+// diskSchemaVersion identifies the on-disk entry layout. Bump it when
+// the entry format or the Stats counter set changes incompatibly; old
+// entries are then quarantined and resimulated instead of being
+// misdecoded. Version 1 was PR 1's bare Stats JSON with no envelope; it
+// decodes as schema 0 here and is treated as stale.
+const diskSchemaVersion = 2
+
+// diskEntry is the on-disk envelope around a cached result: a schema
+// version, a checksum of the payload, and the payload itself. The
+// checksum covers the canonical (compact) JSON of Stats, so any
+// bit-rot, truncation recovered by the JSON parser, or hand-editing is
+// detected on load.
+type diskEntry struct {
+	Schema   int          `json:"schema"`
+	Checksum string       `json:"checksum"`
+	Stats    *stats.Stats `json:"stats"`
+}
+
+// statsChecksum returns the hex SHA-256 of st's compact JSON encoding.
+func statsChecksum(st *stats.Stats) (string, error) {
+	b, err := json.Marshal(st)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// validateEntry reports the first integrity problem with a decoded disk
+// entry, or nil when the entry is trustworthy.
+func validateEntry(e *diskEntry) error {
+	if e.Schema != diskSchemaVersion {
+		return fmt.Errorf("schema %d, want %d", e.Schema, diskSchemaVersion)
+	}
+	if e.Stats == nil {
+		return fmt.Errorf("missing stats payload")
+	}
+	sum, err := statsChecksum(e.Stats)
+	if err != nil {
+		return err
+	}
+	if sum != e.Checksum {
+		return fmt.Errorf("checksum mismatch: stored %.12s…, computed %.12s…", e.Checksum, sum)
+	}
+	// Revalidate the physical accounting identities: a cached result
+	// that violates conservation was either corrupted in a way that
+	// kept the checksum (impossible short of an attack, but cheap to
+	// check) or written by a buggy engine build; both must resimulate.
+	if err := e.Stats.CheckConservation(); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Cache is a content-addressed store of simulation results keyed by
@@ -56,12 +134,20 @@ func kernelDigest(k *trace.Kernel) string {
 // survive across processes. All methods are safe for concurrent use,
 // and both Get and Put work on snapshots — a caller can never corrupt a
 // cached entry through a returned pointer.
+//
+// Disk entries carry a schema version and a payload checksum and are
+// revalidated against the stats conservation identities on load. An
+// entry that fails any of those checks is quarantined — renamed to
+// <key>.json.corrupt for post-mortem inspection — and the Get reports a
+// miss, so the point is resimulated and rewritten instead of being
+// silently trusted (wrong figures) or silently deleted (lost evidence).
 type Cache struct {
-	mu     sync.Mutex
-	mem    map[string]*stats.Stats
-	dir    string // empty: memory-only
-	hits   uint64
-	misses uint64
+	mu          sync.Mutex
+	mem         map[string]*stats.Stats
+	dir         string // empty: memory-only
+	hits        uint64
+	misses      uint64
+	quarantined uint64
 }
 
 // NewCache returns an empty in-memory cache.
@@ -93,21 +179,50 @@ func (c *Cache) Get(key string) (*stats.Stats, bool) {
 	c.mu.Unlock()
 
 	if dir != "" {
-		if b, err := os.ReadFile(filepath.Join(dir, key+".json")); err == nil {
-			st := &stats.Stats{}
-			if err := json.Unmarshal(b, st); err == nil {
-				c.mu.Lock()
-				c.mem[key] = st
-				c.hits++
-				c.mu.Unlock()
-				return st.Clone(), true
-			}
+		if st, ok := c.loadDisk(dir, key); ok {
+			c.mu.Lock()
+			c.mem[key] = st
+			c.hits++
+			c.mu.Unlock()
+			return st.Clone(), true
 		}
 	}
 	c.mu.Lock()
 	c.misses++
 	c.mu.Unlock()
 	return nil, false
+}
+
+// loadDisk reads and verifies one on-disk entry. Undecodable or
+// integrity-failing entries are quarantined and reported as misses.
+func (c *Cache) loadDisk(dir, key string) (*stats.Stats, bool) {
+	path := filepath.Join(dir, key+".json")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	e := &diskEntry{}
+	if err := json.Unmarshal(b, e); err != nil {
+		c.quarantine(path)
+		return nil, false
+	}
+	if err := validateEntry(e); err != nil {
+		c.quarantine(path)
+		return nil, false
+	}
+	return e.Stats, true
+}
+
+// quarantine moves a failed entry aside as <name>.corrupt. Renaming —
+// not deleting — keeps the evidence for inspection while guaranteeing
+// the bad entry can never be served again; the subsequent resimulation
+// rewrites a fresh entry under the original name. A lost race (another
+// worker already quarantined the same file) is benign.
+func (c *Cache) quarantine(path string) {
+	_ = os.Rename(path, path+".corrupt")
+	c.mu.Lock()
+	c.quarantined++
+	c.mu.Unlock()
 }
 
 // Put stores a snapshot of st under key.
@@ -121,12 +236,20 @@ func (c *Cache) Put(key string, st *stats.Stats) {
 	if dir == "" {
 		return
 	}
-	// Persist via rename so concurrent writers and readers never see a
-	// torn file; persistence failures degrade to memory-only caching.
-	b, err := json.MarshalIndent(snap, "", "  ")
+	sum, err := statsChecksum(snap)
 	if err != nil {
 		return
 	}
+	b, err := json.MarshalIndent(&diskEntry{
+		Schema:   diskSchemaVersion,
+		Checksum: sum,
+		Stats:    snap,
+	}, "", "  ")
+	if err != nil {
+		return
+	}
+	// Persist via rename so concurrent writers and readers never see a
+	// torn file; persistence failures degrade to memory-only caching.
 	path := filepath.Join(dir, key+".json")
 	tmp, err := os.CreateTemp(dir, key+".tmp*")
 	if err != nil {
@@ -157,4 +280,12 @@ func (c *Cache) Counters() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Quarantined returns how many on-disk entries failed integrity
+// verification and were moved aside as .corrupt files.
+func (c *Cache) Quarantined() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quarantined
 }

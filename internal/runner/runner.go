@@ -11,6 +11,15 @@
 // keep deterministic output no matter how the pool schedules the work:
 // same jobs, any schedule, any worker count → same tables.
 //
+// The runner is also the repository's fault boundary. A panicking job
+// is recovered into a *JobPanicError instead of killing the process; a
+// job exceeding its wall-clock budget (Job.MaxWall / Runner.Timeout)
+// fails with context.DeadlineExceeded without touching its neighbours;
+// transient failures (IsTransient) are retried a bounded number of
+// times; and in KeepGoing mode the batch always runs to completion,
+// aggregating failures into one *BatchError so suites can render
+// partial tables with explicit FAILED cells.
+//
 // Jobs may share *config.Config and *trace.Kernel values freely: both
 // are read-only during simulation (each engine keeps its own mutable
 // state), which is what makes kernel reuse across schemes safe under
@@ -21,6 +30,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -40,16 +50,26 @@ type Job struct {
 	Policy config.Policy
 	Kernel *trace.Kernel
 	Opts   sim.Options
+
+	// MaxWall, when positive, bounds the job's wall-clock simulation
+	// time: the engine runs under context.WithTimeout and the job fails
+	// with context.DeadlineExceeded when the deadline passes. Zero
+	// falls back to Runner.Timeout. Like Label, MaxWall is execution
+	// policy, not simulation input, so it is excluded from the cache
+	// key — the engine is deterministic and a completed run is the
+	// same run at any deadline.
+	MaxWall time.Duration
 }
 
 // Result is one job's outcome, in the same position as its job in the
 // submitted batch.
 type Result struct {
-	Job    Job
-	Stats  *stats.Stats
-	Err    error
-	Cached bool          // served from the result cache, no simulation ran
-	Wall   time.Duration // simulation wall time (0 when Cached)
+	Job      Job
+	Stats    *stats.Stats
+	Err      error
+	Cached   bool          // served from the result cache, no simulation ran
+	Wall     time.Duration // simulation wall time (0 when Cached)
+	Attempts int           // simulation attempts performed (0 when Cached)
 }
 
 // EventKind classifies a progress event.
@@ -68,13 +88,14 @@ const (
 // Done counters are a consistent snapshot of the whole batch at the
 // moment the event fired.
 type Event struct {
-	Kind   EventKind
-	Index  int    // job position in the submitted batch
-	Label  string // Job.Label
-	Cached bool   // JobDone: result came from the cache
-	Err    error  // JobDone: the job's error, if any
-	Wall   time.Duration // JobDone: simulation wall time
-	Cycles uint64 // JobDone: cycles the simulation ran
+	Kind     EventKind
+	Index    int    // job position in the submitted batch
+	Label    string // Job.Label
+	Cached   bool   // JobDone: result came from the cache
+	Err      error  // JobDone: the job's error, if any
+	Wall     time.Duration // JobDone: simulation wall time
+	Cycles   uint64 // JobDone: cycles the simulation ran
+	Attempts int    // JobDone: simulation attempts performed
 
 	Queued  int // jobs not yet picked up
 	Running int // jobs currently executing
@@ -86,8 +107,20 @@ type Event struct {
 // goroutines, not the submitting one.
 type Events func(Event)
 
+// SimFunc runs one simulation attempt under the given context.
+type SimFunc func(ctx context.Context) (*stats.Stats, error)
+
+// Intercept wraps every simulation attempt of every job. It exists for
+// deterministic fault injection (see internal/faultinject): the
+// interceptor may run the attempt, replace it, delay it, fail it, or
+// panic — the runner's recovery, retry and timeout machinery treats
+// whatever happens exactly as it would a real simulation. attempt
+// counts from 0 within one job.
+type Intercept func(ctx context.Context, index, attempt int, job Job, run SimFunc) (*stats.Stats, error)
+
 // Runner executes batches of jobs. The zero value runs with GOMAXPROCS
-// workers, no cache, and no event callbacks.
+// workers, no cache, no retries, no deadlines, fail-fast semantics and
+// no event callbacks.
 type Runner struct {
 	// Workers is the worker-pool size; <= 0 means runtime.GOMAXPROCS(0).
 	Workers int
@@ -97,14 +130,43 @@ type Runner struct {
 	Cache *Cache
 	// Events, when non-nil, receives progress notifications.
 	Events Events
+
+	// KeepGoing switches the batch from fail-fast to run-to-completion:
+	// job failures no longer cancel the remaining jobs, and Run returns
+	// a *BatchError aggregating every failure (ordered by submission
+	// index) alongside the full results slice, in which failed jobs
+	// carry their error and a nil Stats. Caller cancellation still
+	// aborts the batch.
+	KeepGoing bool
+	// Retries is how many extra attempts a failed job gets when its
+	// error is transient (IsTransient). Permanent errors — panics,
+	// validation failures, timeouts, cancellations — never retry.
+	Retries int
+	// Timeout is the default per-job wall-clock budget for jobs whose
+	// MaxWall is zero. Zero means no deadline.
+	Timeout time.Duration
+	// SelfCheck forces the engine's sampled invariant sweeps
+	// (sim.Options.SelfCheck) on every job in the batch. Like MaxWall it
+	// is execution policy: the checks never change simulation results,
+	// so it does not participate in cache keys.
+	SelfCheck bool
+	// Intercept, when non-nil, wraps every simulation attempt. This is
+	// the deterministic fault-injection seam; production callers leave
+	// it nil.
+	Intercept Intercept
 }
 
 // Run executes jobs and returns their results in submission order.
 //
-// On the first job failure the remaining unstarted jobs are cancelled
-// and Run returns the failing job's error (results for jobs that
-// completed before the failure are still populated). Cancelling ctx
-// aborts in-flight simulations within a few thousand simulated cycles.
+// Fail-fast (the default): on the first job failure the remaining
+// unstarted jobs are cancelled and Run returns the failing job's error
+// (results for jobs that completed before the failure are still
+// populated). With KeepGoing set, every job runs and failures come back
+// aggregated in a *BatchError.
+//
+// Cancelling ctx aborts in-flight simulations within a few thousand
+// simulated cycles; the returned *CancelError summarizes how many jobs
+// completed and how many never started, and wraps the context error.
 func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -121,6 +183,7 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		workers = len(jobs)
 	}
 
+	callerCtx := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -141,7 +204,7 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		case JobDone:
 			running--
 			done++
-			if ev.Err != nil && firstErr == nil && ctx.Err() == nil {
+			if ev.Err != nil && !r.KeepGoing && firstErr == nil && callerCtx.Err() == nil {
 				firstErr = fmt.Errorf("runner: job %q: %w", ev.Label, ev.Err)
 				cancel()
 			}
@@ -184,15 +247,39 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	}
 	wg.Wait()
 
+	// Caller cancellation trumps everything: summarize how far we got.
+	if callerCtx.Err() != nil {
+		mu.Lock()
+		completed, notStarted := done, queued
+		mu.Unlock()
+		return results, &CancelError{
+			Done:   completed,
+			Queued: notStarted,
+			Total:  len(jobs),
+			Err:    callerCtx.Err(),
+		}
+	}
+
+	if r.KeepGoing {
+		// Aggregate failures by submission index so the multi-error is
+		// identical at any worker count.
+		var fails []JobFailure
+		for i := range results {
+			if results[i].Err != nil {
+				fails = append(fails, JobFailure{Index: i, Label: jobs[i].Label, Err: results[i].Err})
+			}
+		}
+		if len(fails) > 0 {
+			return results, &BatchError{Failures: fails, Total: len(jobs)}
+		}
+		return results, nil
+	}
+
 	mu.Lock()
 	err := firstErr
 	mu.Unlock()
 	if err != nil {
 		return results, err
-	}
-	// No job failed on its own; surface a caller cancellation if any.
-	if ctx.Err() != nil {
-		return results, ctx.Err()
 	}
 	for i := range results {
 		if results[i].Err != nil {
@@ -202,25 +289,73 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	return results, nil
 }
 
-// runOne executes (or recalls) a single job.
+// runOne executes (or recalls) a single job, retrying transient
+// failures up to Runner.Retries times.
 func (r *Runner) runOne(ctx context.Context, i int, j Job, emit func(Event)) Result {
 	emit(Event{Kind: JobStarted, Index: i, Label: j.Label})
+	key := ""
 	if r.Cache != nil {
-		if st, ok := r.Cache.Get(j.Key()); ok {
-			emit(Event{Kind: JobDone, Index: i, Label: j.Label, Cached: true, Cycles: st.Cycles})
-			return Result{Job: j, Stats: st, Cached: true}
+		if key = j.Key(); key != "" {
+			if st, ok := r.Cache.Get(key); ok {
+				emit(Event{Kind: JobDone, Index: i, Label: j.Label, Cached: true, Cycles: st.Cycles})
+				return Result{Job: j, Stats: st, Cached: true}
+			}
 		}
 	}
 	start := time.Now()
-	st, err := sim.RunOnce(ctx, j.Config, j.Policy, j.Kernel, j.Opts)
-	wall := time.Since(start)
-	if err == nil && r.Cache != nil {
-		r.Cache.Put(j.Key(), st)
+	var (
+		st       *stats.Stats
+		err      error
+		attempts int
+	)
+	for attempt := 0; ; attempt++ {
+		attempts++
+		st, err = r.attempt(ctx, i, attempt, j)
+		if err == nil || attempt >= r.Retries || !IsTransient(err) || ctx.Err() != nil {
+			break
+		}
 	}
-	ev := Event{Kind: JobDone, Index: i, Label: j.Label, Err: err, Wall: wall}
+	wall := time.Since(start)
+	if err == nil && r.Cache != nil && key != "" {
+		r.Cache.Put(key, st)
+	}
+	ev := Event{Kind: JobDone, Index: i, Label: j.Label, Err: err, Wall: wall, Attempts: attempts}
 	if st != nil {
 		ev.Cycles = st.Cycles
 	}
 	emit(ev)
-	return Result{Job: j, Stats: st, Err: err, Wall: wall}
+	return Result{Job: j, Stats: st, Err: err, Wall: wall, Attempts: attempts}
+}
+
+// attempt performs one simulation attempt under the job's wall-clock
+// budget, converting a panic into a *JobPanicError. The recover sits
+// here — inside the worker's call into policy/engine code — so a
+// panicking job surfaces as an ordinary failed Result instead of
+// killing the pool.
+func (r *Runner) attempt(ctx context.Context, index, attempt int, j Job) (st *stats.Stats, err error) {
+	if wall := j.MaxWall; wall > 0 || r.Timeout > 0 {
+		if wall <= 0 {
+			wall = r.Timeout
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, wall)
+		defer cancel()
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			st = nil
+			err = &JobPanicError{Label: j.Label, Index: index, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	opts := j.Opts
+	if r.SelfCheck {
+		opts.SelfCheck = true
+	}
+	run := func(c context.Context) (*stats.Stats, error) {
+		return sim.RunOnce(c, j.Config, j.Policy, j.Kernel, opts)
+	}
+	if r.Intercept != nil {
+		return r.Intercept(ctx, index, attempt, j, run)
+	}
+	return run(ctx)
 }

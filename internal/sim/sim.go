@@ -30,6 +30,17 @@ type Options struct {
 	// InjectionRate is the max packets one L1D hands to the ICNT per
 	// cycle; 0 means the default (2).
 	InjectionRate int
+	// SelfCheck enables sampled per-cycle verification of the DLP
+	// invariants the paper's correctness rests on: PL counters within
+	// the PDBits field, protected lines never exceeding a set's
+	// associativity, PDPT protection distances within bounds, VTA
+	// geometry matching the TDA, and mid-run stats conservation.
+	// Violations surface as typed *core.InvariantError values wrapped
+	// with the cycle they were caught at. The checks never mutate
+	// state, so an enabled run produces byte-identical results to a
+	// disabled one — which is also why SelfCheck is excluded from the
+	// runner's cache key.
+	SelfCheck bool
 }
 
 // Float returns a pointer to v, for populating optional Options fields:
@@ -123,6 +134,15 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 			}
 		}
 		e.step(cycle)
+		// Sampled self-checking: cheap enough to leave on for whole
+		// suites (one sweep every selfCheckPeriod cycles) while still
+		// catching a corrupted-state bug within ~2k cycles of its
+		// introduction instead of at the end-of-run figures.
+		if e.opts.SelfCheck && cycle&(selfCheckPeriod-1) == 0 {
+			if err := e.selfCheck(k, cycle); err != nil {
+				return nil, err
+			}
+		}
 		if cycle%32 == 0 && e.quiescent() {
 			break
 		}
@@ -134,6 +154,14 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 		}
 	}
 
+	// A final full sweep at drain time, so even sub-period kernels get
+	// checked at least once.
+	if e.opts.SelfCheck {
+		if err := e.selfCheck(k, cycle); err != nil {
+			return nil, err
+		}
+	}
+
 	total := e.collect()
 	total.Cycles = cycle
 	total.ICNTFlits += uint64(*e.opts.BackgroundFlitsPerKInsn * float64(total.Instructions) / 1000)
@@ -141,6 +169,23 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 		return nil, err
 	}
 	return total, nil
+}
+
+// selfCheckPeriod is the sampling interval (in core cycles) of the
+// SelfCheck invariant sweeps. Must be a power of two.
+const selfCheckPeriod = 2048
+
+// selfCheck sweeps every SM's L1D for violated DLP invariants and wraps
+// the first finding with the cycle it was caught at. The typed
+// *core.InvariantError stays reachable through errors.As.
+func (e *Engine) selfCheck(k *trace.Kernel, cycle uint64) error {
+	for i, s := range e.sms {
+		if err := s.L1D().CheckInvariants(); err != nil {
+			return fmt.Errorf("sim: kernel %q self-check failed at cycle %d (SM %d): %w",
+				k.Name, cycle, i, err)
+		}
+	}
+	return nil
 }
 
 // step advances the whole machine one core cycle. Core, ICNT and L2 run
