@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test faultcheck figures clean
+.PHONY: all build vet check test faultcheck figures bench clean
 
 all: build
 
@@ -29,6 +29,13 @@ faultcheck: build
 # Full suite, including the ~2 min headline reproduction tests.
 test: build vet
 	$(GO) test ./...
+
+# Regenerate the tracked performance baseline: every benchmark (with
+# allocation reporting baked into the benchmarks themselves) plus one
+# serial RunSuite(PaperSchemes()) wall-clock pass, distilled into
+# BENCH_PR3.json by cmd/benchjson.
+bench: build
+	$(GO) test -run '^$$' -bench . -timeout 60m . ./internal/sm/ | $(GO) run ./cmd/benchjson -o BENCH_PR3.json
 
 # Regenerate the committed reference outputs.
 figures:

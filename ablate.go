@@ -57,7 +57,7 @@ func runAblation(ctx context.Context, name string, apps []string, values []int,
 		if err != nil {
 			return nil, err
 		}
-		kernels[i] = spec.Generate()
+		kernels[i] = spec.SharedKernel(config.Baseline().L1D.LineSize)
 	}
 
 	// Baselines are measured once with the untouched configuration: the

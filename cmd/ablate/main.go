@@ -29,10 +29,67 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	dlpsim "repro"
 )
+
+// profiler owns the optional pprof outputs. Stop is idempotent and runs
+// on every exit path so the profile files are always complete.
+type profiler struct {
+	cpu     *os.File
+	memPath string
+	stopped bool
+}
+
+var prof profiler
+
+func (p *profiler) Start(cpuPath, memPath string) error {
+	p.memPath = memPath
+	if cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.cpu = f
+	return nil
+}
+
+func (p *profiler) Stop() {
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		p.cpu.Close()
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		runtime.GC() // materialize the steady-state live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+		f.Close()
+	}
+}
+
+func fatal(v ...any) {
+	prof.Stop()
+	log.Fatal(v...)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -46,7 +103,14 @@ func main() {
 	retries := flag.Int("retries", 0, "extra attempts for transiently failed jobs")
 	timeout := flag.Duration("timeout", 0, "per-job wall-clock budget (e.g. 5m); 0 = none")
 	selfCheck := flag.Bool("selfcheck", false, "enable sampled engine invariant sweeps on every job")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if err := prof.Start(*cpuProfile, *memProfile); err != nil {
+		fatal(err)
+	}
+	defer prof.Stop()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -96,7 +160,7 @@ func main() {
 			// failures, and move on to the next sweep.
 			var be *dlpsim.BatchError
 			if !(*keepGoing && errors.As(err, &be) && ab != nil) {
-				log.Fatal(err)
+				fatal(err)
 			}
 			partial = true
 			fmt.Fprintln(os.Stderr, be.Error())
@@ -105,9 +169,10 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		log.Fatalf("unknown sweep %q", *sweep)
+		fatal(fmt.Sprintf("unknown sweep %q", *sweep))
 	}
 	if partial {
+		prof.Stop()
 		os.Exit(1)
 	}
 }

@@ -39,11 +39,64 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	dlpsim "repro"
 )
+
+// profiler owns the optional pprof outputs. Stop is idempotent and runs
+// on every exit path (including log.Fatal via check) so the profile
+// files are always complete.
+type profiler struct {
+	cpu     *os.File
+	memPath string
+	stopped bool
+}
+
+var prof profiler
+
+func (p *profiler) Start(cpuPath, memPath string) error {
+	p.memPath = memPath
+	if cpuPath == "" {
+		return nil
+	}
+	f, err := os.Create(cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.cpu = f
+	return nil
+}
+
+func (p *profiler) Stop() {
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		p.cpu.Close()
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+			return
+		}
+		runtime.GC() // materialize the steady-state live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+		f.Close()
+	}
+}
 
 func main() {
 	log.SetFlags(0)
@@ -57,8 +110,13 @@ func main() {
 	retries := flag.Int("retries", 0, "extra attempts for transiently failed jobs")
 	timeout := flag.Duration("timeout", 0, "per-job wall-clock budget (e.g. 5m); 0 = none")
 	selfCheck := flag.Bool("selfcheck", false, "enable sampled engine invariant sweeps on every job")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	useCSV := strings.EqualFold(*format, "csv")
+
+	check(prof.Start(*cpuProfile, *memProfile))
+	defer prof.Stop()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -210,12 +268,14 @@ func main() {
 			simulated, recalled, time.Since(start).Seconds())
 	}
 	if partial {
+		prof.Stop()
 		os.Exit(1)
 	}
 }
 
 func check(err error) {
 	if err != nil {
+		prof.Stop()
 		log.Fatal(err)
 	}
 }

@@ -175,7 +175,7 @@ func RunApp(abbr string, policy Policy, l1dKB int) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Run(cfg, policy, spec.Generate())
+	return Run(cfg, policy, spec.SharedKernel(cfg.L1D.LineSize))
 }
 
 // HardwareOverhead evaluates the paper's §4.3 cost model for cfg. With

@@ -127,7 +127,9 @@ func RunSuite(ctx context.Context, schemes []Scheme, opts *SuiteOptions) (*Suite
 
 	jobs := make([]runner.Job, 0, len(apps)*len(schemes))
 	for _, spec := range apps {
-		k := spec.Generate() // one kernel shared by every scheme's job
+		// One kernel shared by every scheme's job — and, via the
+		// process-wide cache, by every other suite in the process.
+		k := spec.SharedKernel(cfgs[0].L1D.LineSize)
 		for si, sc := range schemes {
 			jobs = append(jobs, runner.Job{
 				Label:  spec.Abbr + " under " + sc.Name,
@@ -279,7 +281,7 @@ func Fig3RDD() *Distribution {
 		Buckets: rdd.BucketLabels,
 	}
 	for _, spec := range workloads.All() {
-		prof := rdd.ProfileKernel(spec.Generate(), cfg.NumSMs, cfg.L1D)
+		prof := rdd.ProfileKernel(spec.SharedKernel(cfg.L1D.LineSize), cfg.NumSMs, cfg.L1D)
 		d.Rows = append(d.Rows, report.DistRow{
 			Label:     spec.Abbr,
 			Fractions: prof.GlobalFractions(),
@@ -306,7 +308,7 @@ func Fig4MissRates() (*Table, error) {
 		}
 		vals := make([]float64, 0, len(apps))
 		for _, s := range workloads.All() {
-			vals = append(vals, rdd.ReuseMissRate(s.Generate(), n, cfg.L1D))
+			vals = append(vals, rdd.ReuseMissRate(s.SharedKernel(cfg.L1D.LineSize), n, cfg.L1D))
 		}
 		if err := t.AddSeries(sc.Name, vals); err != nil {
 			return nil, err
@@ -327,7 +329,7 @@ func Fig6Ratios() (*Table, error) {
 	for i, s := range sorted {
 		apps[i] = s.Abbr
 		classes[i] = s.Class.String()
-		vals[i] = s.Generate().Summarize(lineSize).MemoryAccessRatio() * 100
+		vals[i] = s.SharedKernel(lineSize).Summarize(lineSize).MemoryAccessRatio() * 100
 	}
 	t := &Table{Title: "Fig. 6: memory access ratio (%, sorted)", Apps: apps, Format: "%.3f"}
 	if err := t.AddSeries("ratio%", vals); err != nil {
@@ -353,7 +355,7 @@ func boolSeries(classes []string) []float64 {
 func Fig7BFS() *Distribution {
 	cfg := config.Baseline()
 	spec, _ := workloads.ByAbbr("BFS")
-	prof := rdd.ProfileKernel(spec.Generate(), cfg.NumSMs, cfg.L1D)
+	prof := rdd.ProfileKernel(spec.SharedKernel(cfg.L1D.LineSize), cfg.NumSMs, cfg.L1D)
 	d := &Distribution{
 		Title:   "Fig. 7: per-instruction RDD of BFS",
 		Buckets: rdd.BucketLabels,

@@ -21,6 +21,9 @@ type MSHR struct {
 	maxEntries int
 	maxMerges  int
 	entries    map[addr.Addr]*MSHREntry
+	// freeEntries recycles released entries (and their merged-request
+	// slices) so the steady-state miss path allocates nothing.
+	freeEntries []*MSHREntry
 }
 
 // NewMSHR builds an MSHR file with maxEntries entries, each accepting up
@@ -67,24 +70,46 @@ func (m *MSHR) Allocate(req *mem.Request, set, way int) *MSHREntry {
 	if _, exists := m.entries[req.Addr]; exists {
 		panic(fmt.Sprintf("cache: duplicate MSHR entry for %#x", uint64(req.Addr)))
 	}
-	e := &MSHREntry{
-		LineAddr: req.Addr,
-		Set:      set,
-		Way:      way,
-		Requests: []*mem.Request{req},
+	var e *MSHREntry
+	if n := len(m.freeEntries); n > 0 {
+		e = m.freeEntries[n-1]
+		m.freeEntries[n-1] = nil
+		m.freeEntries = m.freeEntries[:n-1]
+	} else {
+		e = &MSHREntry{Requests: make([]*mem.Request, 0, m.maxMerges)}
 	}
+	e.LineAddr = req.Addr
+	e.Set = set
+	e.Way = way
+	e.Requests = append(e.Requests, req)
 	m.entries[req.Addr] = e
 	return e
 }
 
 // Release removes and returns the entry for lineAddr when its fill
 // arrives. It returns nil if no entry exists (e.g. a bypass response).
+// The caller must hand the entry back with Recycle once it has
+// delivered the merged requests.
 func (m *MSHR) Release(lineAddr addr.Addr) *MSHREntry {
 	e := m.entries[lineAddr]
 	if e != nil {
 		delete(m.entries, lineAddr)
 	}
 	return e
+}
+
+// Recycle returns a released entry to the MSHR's free list. The entry's
+// request references are dropped; the caller keeps ownership of the
+// requests themselves.
+func (m *MSHR) Recycle(e *MSHREntry) {
+	if e == nil {
+		return
+	}
+	for i := range e.Requests {
+		e.Requests[i] = nil
+	}
+	e.Requests = e.Requests[:0]
+	m.freeEntries = append(m.freeEntries, e)
 }
 
 // FIFO is a bounded request queue (the miss queue toward the

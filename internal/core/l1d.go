@@ -84,8 +84,8 @@ func (c *L1D) Stats() *stats.Stats { return c.st }
 func (c *L1D) PDPT() *PDPT { return c.pdpt }
 
 // Tick advances the cache to cycle now and delivers hit responses whose
-// latency has elapsed.
-func (c *L1D) Tick(now uint64) {
+// latency has elapsed, returning how many it delivered.
+func (c *L1D) Tick(now uint64) int {
 	c.now = now
 	n := 0
 	for _, h := range c.hitQ {
@@ -96,8 +96,26 @@ func (c *L1D) Tick(now uint64) {
 		n++
 	}
 	if n > 0 {
-		c.hitQ = c.hitQ[n:]
+		// Shift rather than re-slice so the backing array is reused and
+		// never pins delivered requests alive.
+		rest := copy(c.hitQ, c.hitQ[n:])
+		for i := rest; i < len(c.hitQ); i++ {
+			c.hitQ[i] = hitResponse{}
+		}
+		c.hitQ = c.hitQ[:rest]
 	}
+	return n
+}
+
+// NextDelivery returns the cycle the oldest queued hit becomes
+// deliverable; ok=false when no hits are queued. Hit latency is
+// constant, so the queue is ordered by readyAt and the head is the
+// minimum.
+func (c *L1D) NextDelivery() (at uint64, ok bool) {
+	if len(c.hitQ) == 0 {
+		return 0, false
+	}
+	return c.hitQ[0].readyAt, true
 }
 
 // NoteInstructions feeds executed-instruction counts into the sampling
@@ -342,6 +360,7 @@ func (c *L1D) OnResponse(req *mem.Request) {
 	for _, r := range e.Requests {
 		c.deliver(r)
 	}
+	c.mshr.Recycle(e)
 }
 
 // Pending reports outstanding work: queued packets, live MSHR entries, or

@@ -11,8 +11,6 @@
 package interconnect
 
 import (
-	"container/heap"
-
 	"repro/internal/mem"
 	"repro/internal/stats"
 )
@@ -33,23 +31,58 @@ type packet struct {
 	seq      uint64 // tie-break for deterministic ordering
 }
 
+// packetHeap is a hand-rolled min-heap ordered by (arriveAt, seq). It
+// replaces container/heap to keep the per-packet push/pop free of
+// interface boxing; seq makes the order total, so pop order — and thus
+// simulation behavior — is independent of internal heap layout.
 type packetHeap []packet
 
-func (h packetHeap) Len() int { return len(h) }
-func (h packetHeap) Less(i, j int) bool {
+func (h packetHeap) less(i, j int) bool {
 	if h[i].arriveAt != h[j].arriveAt {
 		return h[i].arriveAt < h[j].arriveAt
 	}
 	return h[i].seq < h[j].seq
 }
-func (h packetHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *packetHeap) Push(x interface{}) { *h = append(*h, x.(packet)) }
-func (h *packetHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *packetHeap) push(p packet) {
+	*h = append(*h, p)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *packetHeap) pop() packet {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = packet{} // drop the stale request reference
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 type direction struct {
@@ -117,7 +150,7 @@ func (n *Network) Tick(now uint64) {
 			dir.budget -= flits
 			n.countFlits(req, flits)
 			n.seq++
-			heap.Push(&dir.inFlight, packet{req: req, arriveAt: now + n.latency, seq: n.seq})
+			dir.inFlight.push(packet{req: req, arriveAt: now + n.latency, seq: n.seq})
 			copy(dir.waiting, dir.waiting[1:])
 			dir.waiting[len(dir.waiting)-1] = nil
 			dir.waiting = dir.waiting[:len(dir.waiting)-1]
@@ -143,7 +176,27 @@ func (n *Network) PopArrived(dir Direction) *mem.Request {
 	if len(d.inFlight) == 0 || d.inFlight[0].arriveAt > n.now {
 		return nil
 	}
-	return heap.Pop(&d.inFlight).(packet).req
+	return d.inFlight.pop().req
+}
+
+// HasWaiting reports whether any packet sits in an injection queue. A
+// waiting packet means the next Tick does real work (it will inject),
+// so the engine must not fast-forward past it.
+func (n *Network) HasWaiting() bool {
+	return len(n.dirs[ToMem].waiting) > 0 || len(n.dirs[ToCore].waiting) > 0
+}
+
+// NextArrival returns the earliest in-flight arrival time across both
+// directions. ok is false when nothing is in flight. With empty
+// injection queues this is the network's next activity cycle: between
+// now and that cycle every Tick is a pure no-op.
+func (n *Network) NextArrival() (at uint64, ok bool) {
+	for d := range n.dirs {
+		if f := n.dirs[d].inFlight; len(f) > 0 && (!ok || f[0].arriveAt < at) {
+			at, ok = f[0].arriveAt, true
+		}
+	}
+	return at, ok
 }
 
 // AddBackgroundFlits accounts traffic from the other L1 caches (L1I, L1C,

@@ -5,7 +5,6 @@
 package l2
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/addr"
@@ -23,23 +22,57 @@ type event struct {
 	seq     uint64
 }
 
+// eventHeap is a hand-rolled min-heap on (readyAt, seq), replacing
+// container/heap to avoid interface boxing on every scheduled event.
+// seq makes the order total, so pop order is layout-independent.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].readyAt != h[j].readyAt {
 		return h[i].readyAt < h[j].readyAt
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop the stale request reference
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // Partition is one L2 slice plus its DRAM channel.
@@ -56,10 +89,16 @@ type Partition struct {
 	st         *stats.Stats
 	now        uint64
 	seq        uint64
+	// pool receives consumed write-through stores (the partition is
+	// their last stop); may be nil. freeWaiters recycles the MSHR
+	// waiter slices so the steady-state miss path allocates nothing.
+	pool        *mem.Pool
+	freeWaiters [][]*mem.Request
 }
 
-// New builds a partition from the configuration.
-func New(cfg *config.Config, st *stats.Stats) *Partition {
+// New builds a partition from the configuration. pool, which may be
+// nil, recycles the store requests the partition consumes.
+func New(cfg *config.Config, st *stats.Stats, pool *mem.Pool) *Partition {
 	kind := addr.LinearIndex
 	if cfg.L2.Hashed {
 		kind = addr.HashIndex
@@ -77,6 +116,7 @@ func New(cfg *config.Config, st *stats.Stats) *Partition {
 			cfg.DRAMBusCycles, cfg.CoreClockMHz, cfg.MemClockMHz, cfg.NumPartitions),
 		hitLatency: uint64(cfg.L2HitLatency),
 		st:         st,
+		pool:       pool,
 	}
 }
 
@@ -90,7 +130,7 @@ func (p *Partition) Enqueue(req *mem.Request) {
 func (p *Partition) Tick(now uint64) {
 	p.now = now
 	for len(p.events) > 0 && p.events[0].readyAt <= now {
-		ev := heap.Pop(&p.events).(event)
+		ev := p.events.pop()
 		if ev.fill {
 			p.completeFill(ev.req)
 		} else {
@@ -141,7 +181,7 @@ func (p *Partition) service(req *mem.Request) bool {
 		if evicted.Valid && evicted.Dirty {
 			p.writeback(evicted, set)
 		}
-		p.mshr[req.Addr] = []*mem.Request{req}
+		p.mshr[req.Addr] = append(p.getWaiters(), req)
 		done := p.dram.Access(req.Addr, p.mapper.LineSize(), p.now)
 		p.st.DRAMReads++
 		p.schedule(req, done, true)
@@ -150,6 +190,7 @@ func (p *Partition) service(req *mem.Request) bool {
 }
 
 func (p *Partition) serviceStore(req *mem.Request) {
+	defer p.recycleStore(req)
 	p.st.L2Accesses++
 	set, way, res := p.ta.Probe(req.Addr)
 	if res == cache.ProbeHit {
@@ -164,6 +205,32 @@ func (p *Partition) serviceStore(req *mem.Request) {
 	p.st.L2Misses++
 	p.dram.Access(req.Addr, p.mapper.LineSize(), p.now)
 	p.st.DRAMWrites++
+}
+
+// recycleStore returns a consumed write-through store to the request
+// pool. The partition is a store's final owner — stores get no
+// response — so this is the one place a store request dies.
+func (p *Partition) recycleStore(req *mem.Request) {
+	p.pool.Put(req)
+}
+
+// getWaiters returns an empty MSHR waiter slice, reusing a recycled
+// backing array when one is available.
+func (p *Partition) getWaiters() []*mem.Request {
+	if n := len(p.freeWaiters); n > 0 {
+		w := p.freeWaiters[n-1]
+		p.freeWaiters[n-1] = nil
+		p.freeWaiters = p.freeWaiters[:n-1]
+		return w
+	}
+	return make([]*mem.Request, 0, 4)
+}
+
+func (p *Partition) putWaiters(w []*mem.Request) {
+	for i := range w {
+		w[i] = nil
+	}
+	p.freeWaiters = append(p.freeWaiters, w[:0])
 }
 
 // writeback sends a dirty victim to DRAM.
@@ -189,11 +256,12 @@ func (p *Partition) completeFill(req *mem.Request) {
 	}
 	p.ta.Fill(set, way)
 	p.responses = append(p.responses, waiters...)
+	p.putWaiters(waiters)
 }
 
 func (p *Partition) schedule(req *mem.Request, at uint64, fill bool) {
 	p.seq++
-	heap.Push(&p.events, event{readyAt: at, req: req, fill: fill, seq: p.seq})
+	p.events.push(event{readyAt: at, req: req, fill: fill, seq: p.seq})
 }
 
 // PopResponse returns the next load response ready to travel back to the
@@ -213,4 +281,30 @@ func (p *Partition) PopResponse() *mem.Request {
 // undelivered work.
 func (p *Partition) Pending() bool {
 	return len(p.inQ) > 0 || len(p.events) > 0 || len(p.responses) > 0 || len(p.mshr) > 0
+}
+
+// Busy reports whether Tick(now) would do real work: a queued request
+// to service, a response to hand out, or a scheduled event that is due.
+// When false, Tick is a pure no-op (it would only refresh p.now, which
+// the next real service observes anyway), so the engine can skip it.
+func (p *Partition) Busy(now uint64) bool {
+	return len(p.inQ) > 0 || len(p.responses) > 0 ||
+		(len(p.events) > 0 && p.events[0].readyAt <= now)
+}
+
+// NextEvent returns the earliest scheduled completion time, or ok=false
+// when no event is pending. With an empty input queue this is the
+// partition's next activity cycle.
+func (p *Partition) NextEvent() (at uint64, ok bool) {
+	if len(p.events) == 0 {
+		return 0, false
+	}
+	return p.events[0].readyAt, true
+}
+
+// Queued reports whether the partition holds immediately serviceable
+// work (input-queue entries or undelivered responses) — work that makes
+// the very next cycle active and therefore forbids fast-forwarding.
+func (p *Partition) Queued() bool {
+	return len(p.inQ) > 0 || len(p.responses) > 0
 }

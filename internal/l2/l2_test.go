@@ -11,7 +11,7 @@ import (
 
 func newPart() (*Partition, *stats.Stats) {
 	st := &stats.Stats{}
-	return New(config.Baseline(), st), st
+	return New(config.Baseline(), st, nil), st
 }
 
 // run advances the partition until a response appears or maxCycles pass.
@@ -106,7 +106,7 @@ func TestDirtyEvictionWritesBack(t *testing.T) {
 	cfg := config.Baseline()
 	cfg.L2 = config.CacheGeom{Sets: 1, Ways: 2, LineSize: 128, Hashed: false}
 	st := &stats.Stats{}
-	p := New(cfg, st)
+	p := New(cfg, st, nil)
 
 	fill := func(a addr.Addr) {
 		p.Enqueue(&mem.Request{Addr: a})
@@ -143,7 +143,7 @@ func TestMSHRFullBlocksService(t *testing.T) {
 	cfg := config.Baseline()
 	cfg.L2MSHRs = 1
 	st := &stats.Stats{}
-	p := New(cfg, st)
+	p := New(cfg, st, nil)
 	p.Enqueue(&mem.Request{ID: 1, Addr: 0x1000})
 	p.Tick(0) // takes the only MSHR
 	p.Enqueue(&mem.Request{ID: 2, Addr: 0x2000})

@@ -1,0 +1,44 @@
+package mem
+
+// Pool is a free list of Requests. One engine's components — the SM
+// LD/ST units that create requests and the delivery points that consume
+// them (the SM response callback for loads, the L2 write-through sink
+// for stores) — share a single pool, so a simulation's steady state
+// recycles a small working set of Request objects instead of allocating
+// one per memory instruction. The engine is single-threaded, so the
+// pool needs no locking; separate engines (parallel runner workers)
+// each own their own pool.
+//
+// A nil *Pool is valid and simply allocates/discards, which keeps
+// component constructors usable from tests that don't care about
+// pooling.
+type Pool struct {
+	free []*Request
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a zeroed Request, reusing a recycled one when available.
+func (p *Pool) Get() *Request {
+	if p == nil || len(p.free) == 0 {
+		return new(Request)
+	}
+	n := len(p.free) - 1
+	r := p.free[n]
+	p.free[n] = nil
+	p.free = p.free[:n]
+	*r = Request{}
+	return r
+}
+
+// Put recycles a Request whose lifetime has ended. The caller must hold
+// the only live reference: a double Put (or a Put of a request still
+// queued somewhere) would hand the same object to two owners and
+// corrupt the simulation.
+func (p *Pool) Put(r *Request) {
+	if p == nil || r == nil {
+		return
+	}
+	p.free = append(p.free, r)
+}

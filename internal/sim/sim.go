@@ -12,6 +12,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/interconnect"
 	"repro/internal/l2"
+	"repro/internal/mem"
 	"repro/internal/sm"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -83,6 +84,22 @@ type Engine struct {
 	parts []*l2.Partition
 	netSt *stats.Stats
 	memSt *stats.Stats
+
+	// pool recycles mem.Request objects across the whole machine: SMs
+	// allocate from it, load deliveries and store write-throughs return
+	// to it. The engine is single-threaded, so one unlocked pool serves
+	// every component.
+	pool *mem.Pool
+
+	// testHook, when set by a test in this package, observes every
+	// stepped cycle (skipped cycles are not observed — that they carry
+	// no observable work is exactly what the activity property tests
+	// verify).
+	testHook func(cycle uint64, active bool)
+	// disableFastForward forces the run loop to step every cycle; the
+	// differential property tests use it to prove fast-forwarding
+	// changes nothing but wall-clock time.
+	disableFastForward bool
 }
 
 // New builds an engine for the configuration and L1D policy.
@@ -98,15 +115,16 @@ func New(cfg *config.Config, policy config.Policy, opts Options) (*Engine, error
 		netSt:  &stats.Stats{},
 		memSt:  &stats.Stats{},
 	}
+	e.pool = mem.NewPool()
 	e.sms = make([]*sm.SM, cfg.NumSMs)
 	for i := range e.sms {
-		e.sms[i] = sm.New(cfg, i, policy)
+		e.sms[i] = sm.New(cfg, i, policy, e.pool)
 	}
 	e.net = interconnect.New(cfg.ICNTLatency, cfg.ICNTBandwidthFlits,
 		cfg.ICNTFlitBytes, cfg.L1D.LineSize, e.netSt)
 	e.parts = make([]*l2.Partition, cfg.NumPartitions)
 	for i := range e.parts {
-		e.parts[i] = l2.New(cfg, e.memSt)
+		e.parts[i] = l2.New(cfg, e.memSt, e.pool)
 	}
 	return e, nil
 }
@@ -133,7 +151,7 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 			default:
 			}
 		}
-		e.step(cycle)
+		active := e.step(cycle)
 		// Sampled self-checking: cheap enough to leave on for whole
 		// suites (one sweep every selfCheckPeriod cycles) while still
 		// catching a corrupted-state bug within ~2k cycles of its
@@ -143,8 +161,23 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 				return nil, err
 			}
 		}
+		if e.testHook != nil {
+			e.testHook(cycle, active)
+		}
 		if cycle%32 == 0 && e.quiescent() {
 			break
+		}
+		// Fast-forward: when this cycle did no work, every following
+		// cycle up to the machine's next scheduled event is provably
+		// identical no-op, so jump the clock there directly. The target
+		// is clamped so no periodic boundary (context check, self-check,
+		// quiescence check when nothing is scheduled) is ever skipped —
+		// skipped cycles are exactly the ones the unoptimized loop would
+		// have stepped through without touching any state or counter.
+		if !active && !e.disableFastForward {
+			if next, ok := e.nextInterestingCycle(cycle); ok && next > cycle+1 {
+				cycle = next - 1
+			}
 		}
 	}
 	if cycle > e.opts.MaxCycles {
@@ -177,7 +210,10 @@ const selfCheckPeriod = 2048
 
 // selfCheck sweeps every SM's L1D for violated DLP invariants and wraps
 // the first finding with the cycle it was caught at. The typed
-// *core.InvariantError stays reachable through errors.As.
+// *core.InvariantError stays reachable through errors.As. It also
+// validates the engine's O(1) activity accounting (liveWarps counters,
+// counter-form quiescence) against full sweeps, so the fast-path
+// bookkeeping cannot silently drift from the state it summarizes.
 func (e *Engine) selfCheck(k *trace.Kernel, cycle uint64) error {
 	for i, s := range e.sms {
 		if err := s.L1D().CheckInvariants(); err != nil {
@@ -185,13 +221,23 @@ func (e *Engine) selfCheck(k *trace.Kernel, cycle uint64) error {
 				k.Name, cycle, i, err)
 		}
 	}
+	if err := e.checkActivity(); err != nil {
+		return fmt.Errorf("sim: kernel %q self-check failed at cycle %d: %w", k.Name, cycle, err)
+	}
 	return nil
 }
 
 // step advances the whole machine one core cycle. Core, ICNT and L2 run
 // in the 650 MHz domain; the DRAM channels convert to the 924 MHz memory
-// clock internally (Table 1).
-func (e *Engine) step(now uint64) {
+// clock internally (Table 1). It reports whether the cycle did any real
+// work: a false return certifies that no component changed state or
+// counters (beyond clock fields), which is the precondition for the
+// caller's fast-forward. Idle components are skipped via their O(1)
+// activity accounting — a Done SM or a non-Busy partition ticks to the
+// exact same state the full tick would have produced.
+func (e *Engine) step(now uint64) bool {
+	// An injection-queue packet means this network tick does real work.
+	active := e.net.HasWaiting()
 	e.net.Tick(now)
 
 	// Deliver request packets to their memory partition.
@@ -202,11 +248,17 @@ func (e *Engine) step(now uint64) {
 		}
 		p := addr.PartitionOf(req.Addr, e.cfg.L1D.LineSize, len(e.parts))
 		e.parts[p].Enqueue(req)
+		active = true
 	}
 
-	// Advance partitions and ship their responses back.
+	// Advance partitions and ship their responses back. A non-Busy
+	// partition's tick is a pure no-op and is skipped.
 	for _, p := range e.parts {
+		if !p.Busy(now) {
+			continue
+		}
 		p.Tick(now)
+		active = true
 		for {
 			resp := p.PopResponse()
 			if resp == nil {
@@ -223,25 +275,97 @@ func (e *Engine) step(now uint64) {
 			break
 		}
 		e.sms[resp.SM].L1D().OnResponse(resp)
+		active = true
 	}
 
-	// Advance the cores and collect their outgoing fetches.
+	// Advance the cores and collect their outgoing fetches. A Done SM
+	// has no warps, no queued blocks, and a drained cache; nothing can
+	// re-activate it (blocks are assigned only before the cycle loop),
+	// so its tick is skipped outright.
 	for _, s := range e.sms {
-		s.Tick(now)
+		if s.Done() {
+			continue
+		}
+		if s.Tick(now) {
+			active = true
+		}
 		for i := 0; i < e.opts.InjectionRate; i++ {
 			out := s.L1D().PopOutgoing()
 			if out == nil {
 				break
 			}
 			e.net.Push(interconnect.ToMem, out)
+			active = true
 		}
 	}
+	return active
 }
 
-// quiescent reports whether every component has fully drained.
+// nextInterestingCycle computes the earliest future cycle at which the
+// machine can do real work, assuming the current cycle was fully
+// inactive. ok=false means some component needs per-cycle ticking (a
+// draining LD/ST queue, a queued partition request, a ready warp) and
+// no jump is safe. The result is clamped to the periodic boundaries the
+// run loop must still observe: the 4096-cycle context check, the
+// self-check sampling grid when enabled, the next 32-cycle quiescence
+// check when no event is scheduled at all, and MaxCycles+1.
+func (e *Engine) nextInterestingCycle(now uint64) (uint64, bool) {
+	const inf = ^uint64(0)
+	if e.net.HasWaiting() {
+		return 0, false
+	}
+	t := inf
+	if a, ok := e.net.NextArrival(); ok {
+		t = a
+	}
+	for _, p := range e.parts {
+		if p.Queued() {
+			return 0, false
+		}
+		if a, ok := p.NextEvent(); ok && a < t {
+			t = a
+		}
+	}
+	for _, s := range e.sms {
+		if s.Done() {
+			continue
+		}
+		w, ok := s.NextWake(now)
+		if !ok {
+			return 0, false
+		}
+		if w < t {
+			t = w
+		}
+	}
+	if t == inf {
+		// Nothing scheduled anywhere: only the quiescence check (or the
+		// MaxCycles timeout for a wedged machine) can end the run. Jump
+		// from boundary to boundary.
+		t = now/32*32 + 32
+	}
+	if b := now/4096*4096 + 4096; t > b {
+		t = b
+	}
+	if e.opts.SelfCheck {
+		if b := now/selfCheckPeriod*selfCheckPeriod + selfCheckPeriod; t > b {
+			t = b
+		}
+	}
+	if t > e.opts.MaxCycles+1 {
+		t = e.opts.MaxCycles + 1
+	}
+	return t, true
+}
+
+// quiescent reports whether every component has fully drained. Every
+// term is O(1): SM completion is counter-based (sm.Done), and the
+// network/partition checks are length comparisons. The sweep-based
+// equivalent lives in quiescentDeep and is cross-checked against this
+// form by the sampled self-checks and the activity property tests.
 func (e *Engine) quiescent() bool {
 	for _, s := range e.sms {
-		if !s.Done() || s.L1D().HasOutgoing() {
+		if !s.Done() {
 			return false
 		}
 	}
@@ -254,6 +378,43 @@ func (e *Engine) quiescent() bool {
 		}
 	}
 	return true
+}
+
+// quiescentDeep recomputes quiescence from first principles — sweeping
+// every warp slot instead of trusting the liveWarps counters. The run
+// loop never calls it; it exists so self-checks and tests can prove the
+// counter form equivalent.
+func (e *Engine) quiescentDeep() bool {
+	for _, s := range e.sms {
+		if !s.DoneSweep() {
+			return false
+		}
+	}
+	if e.net.Pending() {
+		return false
+	}
+	for _, p := range e.parts {
+		if p.Pending() {
+			return false
+		}
+	}
+	return true
+}
+
+// checkActivity validates the O(1) activity accounting against full
+// sweeps: per-SM counter integrity and engine-level quiescence
+// agreement. Run by the sampled self-checks, so fault-injection suites
+// exercising SelfCheck verify it continuously.
+func (e *Engine) checkActivity() error {
+	for i, s := range e.sms {
+		if err := s.CheckActivity(); err != nil {
+			return fmt.Errorf("SM %d activity accounting: %w", i, err)
+		}
+	}
+	if q, d := e.quiescent(), e.quiescentDeep(); q != d {
+		return fmt.Errorf("quiescent()=%v but quiescentDeep()=%v", q, d)
+	}
+	return nil
 }
 
 // collect sums per-component stats into one Stats.

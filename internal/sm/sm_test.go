@@ -46,7 +46,7 @@ func computeWarp(n, latency int) *trace.WarpTrace {
 
 func TestComputeOnlyWarpCompletes(t *testing.T) {
 	cfg := config.Baseline()
-	s := New(cfg, 0, config.PolicyBaseline)
+	s := New(cfg, 0, config.PolicyBaseline, nil)
 	s.AssignBlock(&trace.Block{Warps: []*trace.WarpTrace{computeWarp(10, 4)}})
 	cycles := runAlone(t, s, 1000)
 	st := s.Stats()
@@ -64,11 +64,11 @@ func TestComputeOnlyWarpCompletes(t *testing.T) {
 
 func TestTwoWarpsOverlapLatency(t *testing.T) {
 	cfg := config.Baseline()
-	one := New(cfg, 0, config.PolicyBaseline)
+	one := New(cfg, 0, config.PolicyBaseline, nil)
 	one.AssignBlock(&trace.Block{Warps: []*trace.WarpTrace{computeWarp(50, 8)}})
 	soloCycles := runAlone(t, one, 10000)
 
-	two := New(cfg, 0, config.PolicyBaseline)
+	two := New(cfg, 0, config.PolicyBaseline, nil)
 	two.AssignBlock(&trace.Block{Warps: []*trace.WarpTrace{
 		computeWarp(50, 8), computeWarp(50, 8),
 	}})
@@ -81,7 +81,7 @@ func TestTwoWarpsOverlapLatency(t *testing.T) {
 
 func TestLoadRoundTrip(t *testing.T) {
 	cfg := config.Baseline()
-	s := New(cfg, 0, config.PolicyBaseline)
+	s := New(cfg, 0, config.PolicyBaseline, nil)
 	w := &trace.WarpTrace{Instrs: []trace.Instr{
 		seqLoad(0, 1),
 		seqLoad(1, 1), // second load hits in L1D
@@ -96,7 +96,7 @@ func TestLoadRoundTrip(t *testing.T) {
 
 func TestCoalescedLoadCountsLines(t *testing.T) {
 	cfg := config.Baseline()
-	s := New(cfg, 0, config.PolicyBaseline)
+	s := New(cfg, 0, config.PolicyBaseline, nil)
 	// 32 lanes across 4 lines.
 	addrs := make([]addr.Addr, 32)
 	for i := range addrs {
@@ -112,7 +112,7 @@ func TestCoalescedLoadCountsLines(t *testing.T) {
 
 func TestStoreDoesNotBlockWarp(t *testing.T) {
 	cfg := config.Baseline()
-	s := New(cfg, 0, config.PolicyBaseline)
+	s := New(cfg, 0, config.PolicyBaseline, nil)
 	w := &trace.WarpTrace{Instrs: []trace.Instr{
 		trace.NewStore(0, []addr.Addr{0}),
 		trace.NewCompute(1, 2, 32),
@@ -130,7 +130,7 @@ func TestStoreDoesNotBlockWarp(t *testing.T) {
 func TestBlockAdmissionRespectsCapacity(t *testing.T) {
 	cfg := config.Baseline()
 	cfg.MaxWarpsPerSM = 2
-	s := New(cfg, 0, config.PolicyBaseline)
+	s := New(cfg, 0, config.PolicyBaseline, nil)
 	// Three blocks of 2 warps each: only one resident at a time.
 	for i := 0; i < 3; i++ {
 		s.AssignBlock(&trace.Block{Warps: []*trace.WarpTrace{
@@ -146,7 +146,7 @@ func TestBlockAdmissionRespectsCapacity(t *testing.T) {
 func TestOversizedBlockNeverAdmitted(t *testing.T) {
 	cfg := config.Baseline()
 	cfg.MaxWarpsPerSM = 1
-	s := New(cfg, 0, config.PolicyBaseline)
+	s := New(cfg, 0, config.PolicyBaseline, nil)
 	s.AssignBlock(&trace.Block{Warps: []*trace.WarpTrace{
 		computeWarp(1, 1), computeWarp(1, 1),
 	}})
@@ -164,7 +164,7 @@ func TestOversizedBlockNeverAdmitted(t *testing.T) {
 func TestGTOPrefersOldestWarp(t *testing.T) {
 	cfg := config.Baseline()
 	cfg.SchedulersPerSM = 1
-	s := New(cfg, 0, config.PolicyBaseline)
+	s := New(cfg, 0, config.PolicyBaseline, nil)
 	// Warp 0 (older) and warp 1 (younger), both always ready.
 	s.AssignBlock(&trace.Block{Warps: []*trace.WarpTrace{
 		computeWarp(3, 1), computeWarp(3, 1),
@@ -183,7 +183,7 @@ func TestGTOPrefersOldestWarp(t *testing.T) {
 
 func TestDualSchedulersIssueTwoPerCycle(t *testing.T) {
 	cfg := config.Baseline()
-	s := New(cfg, 0, config.PolicyBaseline)
+	s := New(cfg, 0, config.PolicyBaseline, nil)
 	s.AssignBlock(&trace.Block{Warps: []*trace.WarpTrace{
 		computeWarp(10, 1), computeWarp(10, 1), computeWarp(10, 1), computeWarp(10, 1),
 	}})
@@ -195,7 +195,7 @@ func TestDualSchedulersIssueTwoPerCycle(t *testing.T) {
 
 func TestMemResponseForIdleWarpPanics(t *testing.T) {
 	cfg := config.Baseline()
-	s := New(cfg, 0, config.PolicyBaseline)
+	s := New(cfg, 0, config.PolicyBaseline, nil)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic on orphan response")
@@ -208,7 +208,7 @@ func TestWarpThrottleLimitsConcurrency(t *testing.T) {
 	cfg := config.Baseline()
 	cfg.SchedulersPerSM = 2
 	cfg.MaxActiveWarps = 1
-	s := New(cfg, 0, config.PolicyBaseline)
+	s := New(cfg, 0, config.PolicyBaseline, nil)
 	s.AssignBlock(&trace.Block{Warps: []*trace.WarpTrace{
 		computeWarp(10, 1), computeWarp(10, 1), computeWarp(10, 1),
 	}})
@@ -227,7 +227,7 @@ func TestWarpThrottleLimitsConcurrency(t *testing.T) {
 
 func TestWarpThrottleDisabledByDefault(t *testing.T) {
 	cfg := config.Baseline()
-	s := New(cfg, 0, config.PolicyBaseline)
+	s := New(cfg, 0, config.PolicyBaseline, nil)
 	s.AssignBlock(&trace.Block{Warps: []*trace.WarpTrace{
 		computeWarp(10, 1), computeWarp(10, 1), computeWarp(10, 1), computeWarp(10, 1),
 	}})
@@ -241,7 +241,7 @@ func TestLRRRotatesThroughWarps(t *testing.T) {
 	cfg := config.Baseline()
 	cfg.SchedulersPerSM = 1
 	cfg.Scheduler = config.SchedLRR
-	s := New(cfg, 0, config.PolicyBaseline)
+	s := New(cfg, 0, config.PolicyBaseline, nil)
 	s.AssignBlock(&trace.Block{Warps: []*trace.WarpTrace{
 		computeWarp(4, 1), computeWarp(4, 1), computeWarp(4, 1),
 	}})
@@ -274,7 +274,7 @@ func TestLRRRotatesThroughWarps(t *testing.T) {
 func TestLRRCompletesKernel(t *testing.T) {
 	cfg := config.Baseline()
 	cfg.Scheduler = config.SchedLRR
-	s := New(cfg, 0, config.PolicyBaseline)
+	s := New(cfg, 0, config.PolicyBaseline, nil)
 	s.AssignBlock(&trace.Block{Warps: []*trace.WarpTrace{
 		computeWarp(10, 3), computeWarp(10, 3),
 		{Instrs: []trace.Instr{seqLoad(0, 1), seqLoad(1, 2), seqLoad(2, 1)}},

@@ -47,6 +47,12 @@ type Instr struct {
 	Latency     int         // compute: cycles until the warp may issue again
 	ActiveLanes int         // threads executing this instruction (<= warp size)
 	Addrs       []addr.Addr // memory: per-active-lane byte addresses
+
+	// lines memoizes the coalesced result for linesSize, filled by
+	// Kernel.PrecomputeCoalesced. Read-only once set, so a precomputed
+	// kernel stays safe to share across concurrent simulations.
+	lines     []addr.Addr
+	linesSize int
 }
 
 // NewCompute returns a compute instruction covering lanes active lanes.
@@ -71,22 +77,56 @@ func (in *Instr) CoalescedLines(lineSize int) []addr.Addr {
 	if len(in.Addrs) == 0 {
 		return nil
 	}
+	return in.AppendCoalescedLines(make([]addr.Addr, 0, 4), lineSize)
+}
+
+// AppendCoalescedLines appends the coalesced lines to dst and returns
+// the extended slice. Hot callers (the SM LD/ST unit) pass a reusable
+// scratch buffer (`buf[:0]`) so the steady-state issue path allocates
+// nothing; semantics are otherwise identical to CoalescedLines.
+func (in *Instr) AppendCoalescedLines(dst []addr.Addr, lineSize int) []addr.Addr {
+	if in.linesSize == lineSize {
+		return append(dst, in.lines...)
+	}
 	mask := ^addr.Addr(lineSize - 1)
-	out := make([]addr.Addr, 0, 4)
+	base := len(dst)
 	for _, a := range in.Addrs {
 		line := a & mask
 		dup := false
-		for _, seen := range out {
-			if seen == line {
+		// Scan newest-first: consecutive lanes usually share a line, so
+		// the duplicate is almost always the last line appended.
+		for i := len(dst) - 1; i >= base; i-- {
+			if dst[i] == line {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			out = append(out, line)
+			dst = append(dst, line)
 		}
 	}
-	return out
+	return dst
+}
+
+// PrecomputeCoalesced memoizes every memory instruction's coalesced
+// line list for the given line size, so simulations served from a
+// shared kernel skip the per-issue coalescing scan. Call it once after
+// generation, before the kernel is shared: the memo fields are written
+// here and only read afterwards.
+func (k *Kernel) PrecomputeCoalesced(lineSize int) {
+	for _, b := range k.Blocks {
+		for _, w := range b.Warps {
+			for i := range w.Instrs {
+				in := &w.Instrs[i]
+				if in.Kind == Compute || in.linesSize == lineSize {
+					continue
+				}
+				in.linesSize = 0 // force a fresh computation
+				in.lines = in.AppendCoalescedLines(in.lines[:0], lineSize)
+				in.linesSize = lineSize
+			}
+		}
+	}
 }
 
 // WarpTrace is the in-order instruction stream of one warp.

@@ -12,6 +12,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/trace"
 )
@@ -111,13 +112,55 @@ func Abbrs() []string {
 	return out
 }
 
+// sharedKernels memoizes generated kernels process-wide. Generation is
+// deterministic and simulations never mutate a kernel (per-warp pc
+// state lives in sm.warp), so every suite, test, and tool in the
+// process can share one instance per application and line size.
+var (
+	sharedMu      sync.Mutex
+	sharedKernels = map[sharedKey]*trace.Kernel{}
+)
+
+type sharedKey struct {
+	abbr     string
+	lineSize int
+}
+
+// SharedKernel returns the application's kernel from a process-wide
+// cache, generating it on first use and precomputing its coalesced
+// line lists for the given cache line size. The returned kernel is
+// shared and must be treated as read-only; registry applications are
+// memoized by abbreviation, unknown (custom) specs are generated
+// fresh on every call.
+func (s Spec) SharedKernel(lineSize int) *trace.Kernel {
+	reg, err := ByAbbr(s.Abbr)
+	if err != nil || reg.Name != s.Name || reg.Suite != s.Suite ||
+		reg.Class != s.Class || reg.Input != s.Input {
+		// Not a registry application (or an abbreviation collision with
+		// different metadata): generate fresh, never cache.
+		k := s.Generate()
+		k.PrecomputeCoalesced(lineSize)
+		return k
+	}
+	key := sharedKey{s.Abbr, lineSize}
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if k, ok := sharedKernels[key]; ok {
+		return k
+	}
+	k := s.Generate()
+	k.PrecomputeCoalesced(lineSize)
+	sharedKernels[key] = k
+	return k
+}
+
 // SortedByRatio returns specs sorted ascending by the memory-access
 // ratio of their generated kernels (the Fig. 6 x-axis ordering).
 func SortedByRatio(lineSize int) []Spec {
 	specs := All()
 	ratios := make(map[string]float64, len(specs))
 	for _, s := range specs {
-		ratios[s.Abbr] = s.Generate().Summarize(lineSize).MemoryAccessRatio()
+		ratios[s.Abbr] = s.SharedKernel(lineSize).Summarize(lineSize).MemoryAccessRatio()
 	}
 	sort.SliceStable(specs, func(i, j int) bool {
 		return ratios[specs[i].Abbr] < ratios[specs[j].Abbr]
