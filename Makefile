@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test faultcheck figures bench clean
+.PHONY: all build vet check test faultcheck figures bench benchgate clean
 
 all: build
 
@@ -33,9 +33,15 @@ test: build vet
 # Regenerate the tracked performance baseline: every benchmark (with
 # allocation reporting baked into the benchmarks themselves) plus one
 # serial RunSuite(PaperSchemes()) wall-clock pass, distilled into
-# BENCH_PR3.json by cmd/benchjson.
+# BENCH_PR4.json by cmd/benchjson. `make benchgate` re-measures just the
+# suite wall pass and fails when it regressed >15% against the
+# committed baseline — the same gate CI runs.
 bench: build
-	$(GO) test -run '^$$' -bench . -timeout 60m . ./internal/sm/ | $(GO) run ./cmd/benchjson -o BENCH_PR3.json
+	$(GO) test -run '^$$' -bench . -timeout 60m . ./internal/sm/ | $(GO) run ./cmd/benchjson -o BENCH_PR4.json
+
+benchgate: build
+	$(GO) test -run '^$$' -bench 'BenchmarkSuitePaperWall' -benchtime 1x -timeout 30m . | $(GO) run ./cmd/benchjson -o /tmp/bench_fresh.json
+	$(GO) run ./cmd/benchgate -baseline BENCH_PR4.json -fresh /tmp/bench_fresh.json -max-regress-pct 15
 
 # Regenerate the committed reference outputs.
 figures:

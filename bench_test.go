@@ -2,6 +2,7 @@ package dlpsim
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -287,6 +288,34 @@ func BenchmarkSuitePaperWall(b *testing.B) {
 			b.Fatal(err)
 		}
 		benchPaperOnce.Do(func() { benchPaper = res })
+	}
+}
+
+// BenchmarkDlpsimCoresMM measures one dlpsim-style run of the largest
+// paper workload (MM, the longest serial simulation of the 18-app grid)
+// under DLP at -cores 1 and -cores 8 — the acceptance numbers for the
+// phase-parallel engine. The cores=8 case sets Options.Cores
+// explicitly, exactly as cmd/dlpsim does, so the measurement reflects
+// the flag's behavior regardless of GOMAXPROCS; on hosts with fewer
+// CPUs than shards the pool parks instead of spinning, so the
+// comparison degrades gracefully (and meaninglessly — read the ratio
+// only on a multi-core box).
+func BenchmarkDlpsimCoresMM(b *testing.B) {
+	w, err := WorkloadByAbbr("MM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := BaselineConfig()
+	k := w.SharedKernel(cfg.L1D.LineSize)
+	for _, cores := range []int{1, 8} {
+		b.Run(fmt.Sprintf("cores%d", cores), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunWithOptions(cfg, DLP, k, Options{Cores: cores}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -13,6 +13,7 @@
 //	ablate -sweep pd-bits       # one sweep
 //	ablate -apps CFD,KM         # choose applications
 //	ablate -j 8                 # worker-pool size (default GOMAXPROCS)
+//	ablate -j 4 -cores 2        # 4 jobs x 2 phase shards per simulation
 //
 // Failure semantics: the first failing run cancels the sweep unless
 // -keep-going is set, in which case failed points render as FAILED
@@ -103,6 +104,7 @@ func main() {
 	retries := flag.Int("retries", 0, "extra attempts for transiently failed jobs")
 	timeout := flag.Duration("timeout", 0, "per-job wall-clock budget (e.g. 5m); 0 = none")
 	selfCheck := flag.Bool("selfcheck", false, "enable sampled engine invariant sweeps on every job")
+	cores := flag.Int("cores", 1, "phase-parallel shards inside each simulation (Workers x cores capped at GOMAXPROCS); output is identical at any value")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -129,6 +131,7 @@ func main() {
 		Retries:   *retries,
 		Timeout:   *timeout,
 		SelfCheck: *selfCheck,
+		Cores:     *cores,
 		Events: func(ev dlpsim.RunEvent) {
 			if *quiet || ev.Kind != dlpsim.JobDone || ev.Cached {
 				return

@@ -1,0 +1,68 @@
+// Command benchgate compares a fresh performance measurement against
+// the committed baseline and fails (exit 1) when the headline number —
+// the serial suite wall time recorded as suite_wall_seconds — regresses
+// beyond the allowed percentage. It is the CI benchmark-regression
+// gate: the smoke step runs one BenchmarkSuitePaperWall pass, distills
+// it with cmd/benchjson, and hands both documents here.
+//
+// Individual micro-benchmarks are printed side by side for the log but
+// never gated: at smoke iteration counts (and across heterogeneous CI
+// machines) their noise would make a hard threshold flaky, whereas a
+// full-suite wall pass integrates enough work to make >15% a real
+// signal.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_PR4.json -fresh /tmp/bench_fresh.json -max-regress-pct 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgate: ")
+	basePath := flag.String("baseline", "BENCH_PR4.json", "committed baseline document")
+	freshPath := flag.String("fresh", "", "fresh measurement to gate (required)")
+	maxPct := flag.Float64("max-regress-pct", 15, "maximum allowed suite-wall regression in percent")
+	flag.Parse()
+	if *freshPath == "" {
+		log.Fatal("-fresh is required")
+	}
+
+	base, err := benchfmt.ReadFile(*basePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fresh, err := benchfmt.ReadFile(*freshPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("suite wall: baseline %.1fs, fresh %.1fs (%+.1f%%)\n",
+		base.SuiteWallSeconds, fresh.SuiteWallSeconds,
+		benchfmt.RegressPct(base.SuiteWallSeconds, fresh.SuiteWallSeconds))
+	baseByName := make(map[string]benchfmt.Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseByName[r.Name] = r
+	}
+	for _, f := range fresh.Benchmarks {
+		b, ok := baseByName[f.Name]
+		if !ok {
+			fmt.Printf("%-40s fresh only: %.0f ns/op\n", f.Name, f.NsPerOp)
+			continue
+		}
+		fmt.Printf("%-40s %.0f -> %.0f ns/op (%+.1f%%, informational)\n",
+			f.Name, b.NsPerOp, f.NsPerOp, benchfmt.RegressPct(b.NsPerOp, f.NsPerOp))
+	}
+
+	if err := benchfmt.CheckWall(base, fresh, *maxPct); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("benchgate: OK")
+}

@@ -1,92 +1,40 @@
 // Command benchjson converts `go test -bench` text output into the
-// machine-readable performance baseline the repo tracks (BENCH_PR3.json).
-// It reads bench output on stdin and writes a JSON document containing
-// one record per benchmark — name, iterations, ns/op, and the B/op and
-// allocs/op columns when present — plus the wall-clock seconds of one
-// serial RunSuite(PaperSchemes()) pass, taken from the
-// BenchmarkSuitePaperWall result.
+// machine-readable performance baseline the repo tracks
+// (BENCH_PR4.json). It reads bench output on stdin and writes a JSON
+// document containing one record per benchmark — name, iterations,
+// ns/op, and the B/op and allocs/op columns when present — plus the
+// wall-clock seconds of one serial RunSuite(PaperSchemes()) pass, taken
+// from the BenchmarkSuitePaperWall result. The document format lives in
+// internal/benchfmt, shared with cmd/benchgate.
 //
 // Usage:
 //
-//	go test -run '^$' -bench . . ./internal/sm/ | benchjson -o BENCH_PR3.json
+//	go test -run '^$' -bench . . ./internal/sm/ | benchjson -o BENCH_PR4.json
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"regexp"
-	"strconv"
-	"strings"
+
+	"repro/internal/benchfmt"
 )
-
-// Result is one benchmark line.
-type Result struct {
-	Name     string  `json:"name"`
-	Iters    int64   `json:"iterations"`
-	NsPerOp  float64 `json:"ns_op"`
-	BytesOp  int64   `json:"bytes_op"`
-	AllocsOp int64   `json:"allocs_op"`
-}
-
-// Baseline is the document BENCH_PR3.json holds.
-type Baseline struct {
-	// SuiteWallSeconds is one serial (one-worker) pass over the paper's
-	// full (application, scheme) grid — the headline perf number.
-	SuiteWallSeconds float64  `json:"suite_wall_seconds"`
-	Benchmarks       []Result `json:"benchmarks"`
-}
-
-// benchLine matches e.g.
-//
-//	BenchmarkL1DAccess/DLP-8   8322818   144.1 ns/op   0 B/op   0 allocs/op
-//
-// The -N GOMAXPROCS suffix is optional (absent on single-CPU runs).
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
-	out := flag.String("o", "BENCH_PR3.json", "output file; - writes to stdout only")
+	out := flag.String("o", "BENCH_PR4.json", "output file; - writes to stdout only")
 	flag.Parse()
 
-	doc := Baseline{Benchmarks: []Result{}}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
-		if m == nil {
-			continue
-		}
-		r := Result{Name: m[1]}
-		r.Iters, _ = strconv.ParseInt(m[2], 10, 64)
-		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
-		if m[4] != "" {
-			r.BytesOp, _ = strconv.ParseInt(m[4], 10, 64)
-		}
-		if m[5] != "" {
-			r.AllocsOp, _ = strconv.ParseInt(m[5], 10, 64)
-		}
-		doc.Benchmarks = append(doc.Benchmarks, r)
-		if strings.HasPrefix(r.Name, "BenchmarkSuitePaperWall") {
-			doc.SuiteWallSeconds = r.NsPerOp / 1e9
-		}
-	}
-	if err := sc.Err(); err != nil {
-		log.Fatal(err)
-	}
-	if len(doc.Benchmarks) == 0 {
-		log.Fatal("no benchmark lines found on stdin")
-	}
-
-	b, err := json.MarshalIndent(&doc, "", "  ")
+	doc, err := benchfmt.Parse(os.Stdin)
 	if err != nil {
 		log.Fatal(err)
 	}
-	b = append(b, '\n')
+	b, err := doc.Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *out != "-" {
 		if err := os.WriteFile(*out, b, 0o644); err != nil {
 			log.Fatal(err)

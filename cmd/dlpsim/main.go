@@ -5,7 +5,12 @@
 //
 //	dlpsim -app CFD -policy dlp
 //	dlpsim -app BFS -policy baseline -size 32
+//	dlpsim -app HG -cores 8
 //	dlpsim -list
+//
+// -cores N ticks the SMs and L2 partitions of the single simulation on
+// N phase-parallel shards, cutting wall time on multi-core hosts; the
+// printed counters are bit-identical at every value.
 //
 // Failure semantics: the run executes inside the shared experiment
 // runner, so a panicking or wedged engine surfaces as a structured
@@ -27,6 +32,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -45,7 +51,11 @@ func main() {
 	retries := flag.Int("retries", 0, "extra attempts on transient failures")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (e.g. 5m); 0 = none")
 	selfCheck := flag.Bool("selfcheck", false, "enable sampled engine invariant sweeps")
+	cores := flag.Int("cores", 1, "phase-parallel shards inside the simulation; output is identical at any value")
 	flag.Parse()
+	if *cores < 1 {
+		log.Fatalf("-cores %d: must be >= 1", *cores)
+	}
 
 	if *list {
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -109,11 +119,14 @@ func main() {
 	// recovered into errors, the deadline and retry machinery apply, and
 	// behavior matches what the same point does inside a suite.
 	r := &runner.Runner{Workers: 1, Retries: *retries, Timeout: *timeout, SelfCheck: *selfCheck}
+	// -cores is set explicitly on the job (not via Runner.Cores), so a
+	// single run uses exactly what was asked for, GOMAXPROCS cap or no.
 	results, err := r.Run(ctx, []runner.Job{{
 		Label:  fmt.Sprintf("%s under %s", kernel.Name, pol),
 		Config: cfg,
 		Policy: pol,
 		Kernel: kernel,
+		Opts:   sim.Options{Cores: *cores},
 	}})
 	if err != nil {
 		log.Fatal(err)

@@ -15,6 +15,7 @@
 //	paperfigs -exp fig10      # one experiment
 //	paperfigs -exp fig3,fig7  # a comma-separated subset
 //	paperfigs -j 8            # worker-pool size (default GOMAXPROCS)
+//	paperfigs -j 4 -cores 2   # 4 jobs x 2 phase shards per simulation
 //	paperfigs -cache .figcache  # persist results across runs
 //	paperfigs -quiet          # suppress per-run progress
 //
@@ -110,6 +111,7 @@ func main() {
 	retries := flag.Int("retries", 0, "extra attempts for transiently failed jobs")
 	timeout := flag.Duration("timeout", 0, "per-job wall-clock budget (e.g. 5m); 0 = none")
 	selfCheck := flag.Bool("selfcheck", false, "enable sampled engine invariant sweeps on every job")
+	coresFlag := flag.Int("cores", 1, "phase-parallel shards inside each simulation (Workers x cores capped at GOMAXPROCS); output is identical at any value")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -166,6 +168,7 @@ func main() {
 		Retries:   *retries,
 		Timeout:   *timeout,
 		SelfCheck: *selfCheck,
+		Cores:     *coresFlag,
 	}
 
 	// In -keep-going mode a suite may come back partial: usable tables

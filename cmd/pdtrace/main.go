@@ -13,6 +13,9 @@
 // -timeout D bounds the replay's wall time; -selfcheck verifies the
 // cache's DLP invariants after every printed sample, so a corrupted
 // protection state is caught at the sample that introduced it.
+// -cores is accepted for CLI uniformity with the other commands but
+// has nothing to parallelize here: the replay is one L1D fed one
+// access at a time, so any value >= 1 runs the same serial loop.
 package main
 
 import (
@@ -41,7 +44,11 @@ func main() {
 	maxSamples := flag.Int("samples", 20, "sampling periods to trace")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the replay (e.g. 1m); 0 = none")
 	selfCheck := flag.Bool("selfcheck", false, "verify DLP invariants after every printed sample")
+	cores := flag.Int("cores", 1, "accepted for CLI uniformity; the single-cache replay is inherently serial")
 	flag.Parse()
+	if *cores < 1 {
+		log.Fatalf("-cores %d: must be >= 1", *cores)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -8,6 +8,11 @@
 //	rddprof                  # Fig. 3 RDDs + Fig. 6 ratios for all apps
 //	rddprof -app BFS         # Fig. 7 per-instruction RDD for one app
 //	rddprof -size 32         # profile against the 32KB geometry
+//	rddprof -cores 8         # stripe the per-SM replays over 8 goroutines
+//
+// -cores parallelizes each profile across the 16 simulated SMs (every
+// SM's cache view is independent, and the shard counters fold by
+// addition), so the printed tables are identical at any value.
 package main
 
 import (
@@ -27,7 +32,11 @@ func main() {
 	log.SetPrefix("rddprof: ")
 	app := flag.String("app", "", "profile a single application's per-PC RDD (Fig. 7)")
 	sizeKB := flag.Int("size", 16, "L1D capacity in KB (16, 32 or 64)")
+	cores := flag.Int("cores", 1, "goroutines per profile (per-SM replays run in parallel); output is identical at any value")
 	flag.Parse()
+	if *cores < 1 {
+		log.Fatalf("-cores %d: must be >= 1", *cores)
+	}
 
 	cfg, err := config.ByL1DSize(*sizeKB)
 	if err != nil {
@@ -39,20 +48,22 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		printPerPC(spec, cfg)
+		printPerPC(spec, cfg, *cores)
 		return
 	}
-	printAll(cfg)
+	printAll(cfg, *cores)
 }
 
-func printAll(cfg *config.Config) {
+func printAll(cfg *config.Config, cores int) {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "app\tclass\tratio\t%s\t%s\t%s\t%s\treuse miss@16K\t@32K\t@64K\n",
 		rdd.BucketLabels[0], rdd.BucketLabels[1], rdd.BucketLabels[2], rdd.BucketLabels[3])
 	for _, spec := range workloads.All() {
-		k := spec.Generate()
+		// The shared kernel's memoized coalescing feeds the replay's
+		// zero-allocation scratch path.
+		k := spec.SharedKernel(cfg.L1D.LineSize)
 		sum := k.Summarize(cfg.L1D.LineSize)
-		prof := rdd.ProfileKernel(k, cfg.NumSMs, cfg.L1D)
+		prof := rdd.ProfileKernelCores(k, cfg.NumSMs, cfg.L1D, cores)
 		fr := prof.GlobalFractions()
 		g16 := config.Baseline().L1D
 		g32 := config.L1D32KB().L1D
@@ -60,16 +71,16 @@ func printAll(cfg *config.Config) {
 		fmt.Fprintf(w, "%s\t%s\t%.3f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\n",
 			spec.Abbr, spec.Class, sum.MemoryAccessRatio()*100,
 			fr[0]*100, fr[1]*100, fr[2]*100, fr[3]*100,
-			rdd.ReuseMissRate(k, cfg.NumSMs, g16)*100,
-			rdd.ReuseMissRate(k, cfg.NumSMs, g32)*100,
-			rdd.ReuseMissRate(k, cfg.NumSMs, g64)*100)
+			rdd.ReuseMissRateCores(k, cfg.NumSMs, g16, cores)*100,
+			rdd.ReuseMissRateCores(k, cfg.NumSMs, g32, cores)*100,
+			rdd.ReuseMissRateCores(k, cfg.NumSMs, g64, cores)*100)
 	}
 	w.Flush()
 }
 
-func printPerPC(spec workloads.Spec, cfg *config.Config) {
-	k := spec.Generate()
-	prof := rdd.ProfileKernel(k, cfg.NumSMs, cfg.L1D)
+func printPerPC(spec workloads.Spec, cfg *config.Config, cores int) {
+	k := spec.SharedKernel(cfg.L1D.LineSize)
+	prof := rdd.ProfileKernelCores(k, cfg.NumSMs, cfg.L1D, cores)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(w, "%s per-instruction RDD (Fig. 7 style)\n", spec.Abbr)
 	fmt.Fprintf(w, "insn\t%s\t%s\t%s\t%s\treuses\n",

@@ -179,6 +179,65 @@ func TestFaultTolerantSuiteAcceptance(t *testing.T) {
 	}
 }
 
+// TestPhasePanicSurfacesAsJobPanicError proves the fault boundary holds
+// across both parallelism levels: a panic raised on an engine phase
+// worker (Options.Cores > 1) crosses the phase barrier as a typed
+// *PhasePanicError, is rethrown on the job's goroutine, and the runner
+// recovers it into a *JobPanicError whose Value is that phase error —
+// while every healthy neighbour in the batch completes.
+func TestPhasePanicSurfacesAsJobPanicError(t *testing.T) {
+	jobs, _ := faultBatch()
+	jobs = jobs[:4]
+	const faulted = 1
+	jobs[faulted].Label = "phase fault"
+	// Explicit Opts.Cores bypasses the runner's GOMAXPROCS cap, so the
+	// phase pool really spins up even on a single-CPU test box.
+	jobs[faulted].Opts = Options{
+		Cores: 2,
+		PhaseHook: func(worker int, cycle uint64) {
+			if worker == 1 && cycle >= 3 {
+				panic("injected phase fault")
+			}
+		},
+	}
+
+	results, err := RunJobs(context.Background(), jobs, &Runner{Workers: 2, KeepGoing: true})
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *BatchError", err)
+	}
+	if len(be.Failures) != 1 || be.Failures[0].Index != faulted {
+		t.Fatalf("failures = %+v, want exactly job %d", be.Failures, faulted)
+	}
+
+	var jpe *JobPanicError
+	if !errors.As(results[faulted].Err, &jpe) {
+		t.Fatalf("job error = %v, want *JobPanicError", results[faulted].Err)
+	}
+	ppe, ok := jpe.Value.(*PhasePanicError)
+	if !ok {
+		t.Fatalf("recovered panic value is %T, want *PhasePanicError", jpe.Value)
+	}
+	if ppe.Worker != 1 {
+		t.Errorf("phase panic on worker %d, want 1", ppe.Worker)
+	}
+	if ppe.Value != "injected phase fault" {
+		t.Errorf("phase panic value = %v, want the injected fault", ppe.Value)
+	}
+	if !strings.Contains(string(ppe.Stack), "tickShard") {
+		t.Errorf("phase panic stack does not show the phase worker:\n%s", ppe.Stack)
+	}
+
+	for i, res := range results {
+		if i == faulted {
+			continue
+		}
+		if res.Err != nil || res.Stats == nil {
+			t.Errorf("healthy job %d did not complete: %v", i, res.Err)
+		}
+	}
+}
+
 // TestSelfCheckOutputIdentical: a clean suite with SelfCheck enabled
 // renders byte-identically to one without it — the invariant sweeps
 // observe, never steer.

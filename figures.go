@@ -92,6 +92,11 @@ type SuiteOptions struct {
 	// (sim.Options.SelfCheck) on every job. Results are byte-identical
 	// with or without it; only broken engine builds notice.
 	SelfCheck bool
+	// Cores is each simulation's internal phase parallelism
+	// (sim.Options.Cores). The runner caps Workers × Cores at
+	// GOMAXPROCS, and results are byte-identical at every value; see
+	// runner.Runner.Cores.
+	Cores int
 	// Intercept, when non-nil, wraps every simulation attempt — the
 	// fault-injection seam (see internal/faultinject).
 	Intercept runner.Intercept
@@ -148,6 +153,7 @@ func RunSuite(ctx context.Context, schemes []Scheme, opts *SuiteOptions) (*Suite
 		Retries:   opts.Retries,
 		Timeout:   opts.Timeout,
 		SelfCheck: opts.SelfCheck,
+		Cores:     opts.Cores,
 		Intercept: opts.Intercept,
 	}
 	results, err := r.Run(ctx, jobs)

@@ -1,0 +1,134 @@
+// Package benchfmt defines the repository's machine-readable
+// performance baseline (the BENCH_PR*.json documents): parsing `go test
+// -bench` text output into one, serializing it, and gating a fresh
+// measurement against a committed baseline. cmd/benchjson produces the
+// documents; cmd/benchgate (and CI's benchmark-regression step) consume
+// them.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iterations"`
+	NsPerOp  float64 `json:"ns_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// Baseline is the tracked performance document.
+type Baseline struct {
+	// SuiteWallSeconds is one serial (one-worker) pass over the paper's
+	// full (application, scheme) grid — the headline perf number, taken
+	// from the BenchmarkSuitePaperWall result.
+	SuiteWallSeconds float64  `json:"suite_wall_seconds"`
+	Benchmarks       []Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkL1DAccess/DLP-8   8322818   144.1 ns/op   0 B/op   0 allocs/op
+//
+// The -N GOMAXPROCS suffix is optional (absent on single-CPU runs).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// Parse reads `go test -bench` text output and builds a Baseline. It
+// returns an error when no benchmark line is found — an empty document
+// would silently disable every downstream gate.
+func Parse(r io.Reader) (*Baseline, error) {
+	doc := &Baseline{Benchmarks: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		res := Result{Name: m[1]}
+		res.Iters, _ = strconv.ParseInt(m[2], 10, 64)
+		res.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			res.BytesOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			res.AllocsOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		doc.Benchmarks = append(doc.Benchmarks, res)
+		if strings.HasPrefix(res.Name, "BenchmarkSuitePaperWall") {
+			doc.SuiteWallSeconds = res.NsPerOp / 1e9
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchfmt: no benchmark lines found")
+	}
+	return doc, nil
+}
+
+// Encode serializes the document the way the tracked files store it:
+// indented JSON with a trailing newline, so diffs stay readable.
+func (b *Baseline) Encode() ([]byte, error) {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ReadFile loads a baseline document from disk.
+func ReadFile(path string) (*Baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// RegressPct returns the percentage by which fresh regresses over base:
+// positive means slower, negative means faster. A zero base can't be
+// compared meaningfully, so it reports +Inf-free 0 only when fresh is
+// also zero.
+func RegressPct(base, fresh float64) float64 {
+	if base == 0 {
+		if fresh == 0 {
+			return 0
+		}
+		return 100
+	}
+	return (fresh - base) / base * 100
+}
+
+// CheckWall gates a fresh measurement's suite wall time against the
+// committed baseline: it returns an error when the fresh pass is more
+// than maxPct percent slower. Only the headline wall number is gated —
+// individual micro-benchmarks at smoke iteration counts are too noisy
+// for a hard threshold and are reported by cmd/benchgate instead.
+func CheckWall(base, fresh *Baseline, maxPct float64) error {
+	if base.SuiteWallSeconds <= 0 {
+		return fmt.Errorf("benchfmt: baseline has no suite_wall_seconds (did its bench run include BenchmarkSuitePaperWall?)")
+	}
+	if fresh.SuiteWallSeconds <= 0 {
+		return fmt.Errorf("benchfmt: fresh measurement has no suite_wall_seconds (did the bench run include BenchmarkSuitePaperWall?)")
+	}
+	if pct := RegressPct(base.SuiteWallSeconds, fresh.SuiteWallSeconds); pct > maxPct {
+		return fmt.Errorf("benchfmt: suite wall time regressed %.1f%% (%.1fs -> %.1fs, limit %.0f%%)",
+			pct, base.SuiteWallSeconds, fresh.SuiteWallSeconds, maxPct)
+	}
+	return nil
+}

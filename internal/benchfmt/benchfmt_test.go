@@ -1,0 +1,100 @@
+package benchfmt
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkFig10IPC-8             	   10000	    105000 ns/op	   51234 B/op	     420 allocs/op
+BenchmarkL1DAccess/DLP-8        	 8322818	     144.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSuitePaperWall         	       1	51200000000 ns/op	123456 B/op	 789 allocs/op
+PASS
+ok  	repro	60.0s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	if got := doc.Benchmarks[1]; got.Name != "BenchmarkL1DAccess/DLP" ||
+		got.Iters != 8322818 || got.NsPerOp != 144.1 || got.BytesOp != 0 || got.AllocsOp != 0 {
+		t.Errorf("sub-benchmark line parsed as %+v", got)
+	}
+	if doc.SuiteWallSeconds != 51.2 {
+		t.Errorf("suite wall = %v s, want 51.2", doc.SuiteWallSeconds)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok repro 1.0s\n")); err == nil {
+		t.Fatal("no benchmark lines accepted silently")
+	}
+}
+
+func TestEncodeRoundTrips(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := doc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(raw), "\n") {
+		t.Error("encoded document missing trailing newline")
+	}
+	path := t.TempDir() + "/bench.json"
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SuiteWallSeconds != doc.SuiteWallSeconds || len(back.Benchmarks) != len(doc.Benchmarks) {
+		t.Errorf("round trip changed the document: %+v vs %+v", back, doc)
+	}
+}
+
+func TestRegressPct(t *testing.T) {
+	for _, tc := range []struct {
+		base, fresh, want float64
+	}{
+		{100, 115, 15},
+		{100, 90, -10},
+		{50, 50, 0},
+		{0, 0, 0},
+		{0, 1, 100},
+	} {
+		if got := RegressPct(tc.base, tc.fresh); got != tc.want {
+			t.Errorf("RegressPct(%v, %v) = %v, want %v", tc.base, tc.fresh, got, tc.want)
+		}
+	}
+}
+
+func TestCheckWall(t *testing.T) {
+	base := &Baseline{SuiteWallSeconds: 50}
+	if err := CheckWall(base, &Baseline{SuiteWallSeconds: 57}, 15); err != nil {
+		t.Errorf("14%% slower failed the 15%% gate: %v", err)
+	}
+	if err := CheckWall(base, &Baseline{SuiteWallSeconds: 40}, 15); err != nil {
+		t.Errorf("a speedup failed the gate: %v", err)
+	}
+	if err := CheckWall(base, &Baseline{SuiteWallSeconds: 60}, 15); err == nil {
+		t.Error("20%% regression passed the 15%% gate")
+	}
+	if err := CheckWall(&Baseline{}, base, 15); err == nil {
+		t.Error("baseline without a wall number passed the gate")
+	}
+	if err := CheckWall(base, &Baseline{}, 15); err == nil {
+		t.Error("fresh measurement without a wall number passed the gate")
+	}
+}

@@ -90,9 +90,14 @@ type Partition struct {
 	now        uint64
 	seq        uint64
 	// pool receives consumed write-through stores (the partition is
-	// their last stop); may be nil. freeWaiters recycles the MSHR
+	// their last stop); may be nil. When rec is set it takes precedence:
+	// consumed stores are deferred there instead, for the engine to
+	// route back to each issuing SM's pool during the serial phase —
+	// the partition may be ticking on a phase worker, where touching an
+	// SM-owned pool directly would race. freeWaiters recycles the MSHR
 	// waiter slices so the steady-state miss path allocates nothing.
 	pool        *mem.Pool
+	rec         *mem.Recycler
 	freeWaiters [][]*mem.Request
 }
 
@@ -207,10 +212,21 @@ func (p *Partition) serviceStore(req *mem.Request) {
 	p.st.DRAMWrites++
 }
 
+// SetRecycler diverts consumed write-through stores into rc instead of
+// the pool passed to New. The engine installs one recycler per
+// partition and drains them serially each cycle, so partition ticks
+// never touch another shard's pool.
+func (p *Partition) SetRecycler(rc *mem.Recycler) { p.rec = rc }
+
 // recycleStore returns a consumed write-through store to the request
-// pool. The partition is a store's final owner — stores get no
-// response — so this is the one place a store request dies.
+// pool (or defers it to the engine's recycler). The partition is a
+// store's final owner — stores get no response — so this is the one
+// place a store request dies.
 func (p *Partition) recycleStore(req *mem.Request) {
+	if p.rec != nil {
+		p.rec.Defer(req)
+		return
+	}
 	p.pool.Put(req)
 }
 

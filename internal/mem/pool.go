@@ -1,13 +1,16 @@
 package mem
 
-// Pool is a free list of Requests. One engine's components — the SM
-// LD/ST units that create requests and the delivery points that consume
-// them (the SM response callback for loads, the L2 write-through sink
-// for stores) — share a single pool, so a simulation's steady state
-// recycles a small working set of Request objects instead of allocating
-// one per memory instruction. The engine is single-threaded, so the
-// pool needs no locking; separate engines (parallel runner workers)
-// each own their own pool.
+// Pool is a free list of Requests. The components that create requests
+// (the SM LD/ST units) and the delivery points that consume them (the
+// SM response callback for loads, the L2 write-through sink for stores)
+// recycle through pools, so a simulation's steady state reuses a small
+// working set of Request objects instead of allocating one per memory
+// instruction. Pools are unlocked: each is owned by exactly one
+// component shard — the engine gives every SM its own pool, and
+// consumers on other shards (L2 partitions retiring stores) defer their
+// returns through a Recycler that the engine drains back to the owning
+// SM's pool during the serial phase of the cycle. Separate engines
+// (parallel runner workers) each own their own pools.
 //
 // A nil *Pool is valid and simply allocates/discards, which keeps
 // component constructors usable from tests that don't care about
@@ -41,4 +44,49 @@ func (p *Pool) Put(r *Request) {
 		return
 	}
 	p.free = append(p.free, r)
+}
+
+// Recycler accumulates Requests whose lifetime ended on a component that
+// does not own their home pool. L2 partitions retire store requests that
+// were allocated from the issuing SM's pool; under phase-parallel
+// ticking the partition must not touch that pool directly (it may be
+// ticking concurrently on another shard), so it defers the return here.
+// The engine drains every recycler during the serial interaction phase,
+// routing each request back to its origin SM's pool via Request.SM — so
+// pools stay unlocked and the steady state stays allocation-free at any
+// core count.
+//
+// A nil *Recycler is valid: Defer discards the request (matching the
+// nil-*Pool contract) and Drain is a no-op.
+type Recycler struct {
+	reqs []*Request
+}
+
+// Defer records a request for a later Drain.
+func (rc *Recycler) Defer(r *Request) {
+	if rc == nil || r == nil {
+		return
+	}
+	rc.reqs = append(rc.reqs, r)
+}
+
+// Len reports how many requests are waiting to be drained.
+func (rc *Recycler) Len() int {
+	if rc == nil {
+		return 0
+	}
+	return len(rc.reqs)
+}
+
+// Drain hands every deferred request to put (in defer order) and resets
+// the recycler, keeping its backing array for reuse.
+func (rc *Recycler) Drain(put func(*Request)) {
+	if rc == nil {
+		return
+	}
+	for i, r := range rc.reqs {
+		rc.reqs[i] = nil
+		put(r)
+	}
+	rc.reqs = rc.reqs[:0]
 }

@@ -1,0 +1,132 @@
+package rdd
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/config"
+	"repro/internal/prng"
+	"repro/internal/trace"
+)
+
+// manyBlockKernel builds a kernel wide enough to spread across every SM
+// with a mix of strided and scattered loads plus stores, so the shard
+// boundaries of the parallel replay actually carry different work.
+func manyBlockKernel(seed uint64, blocks, instrsPerWarp int) *trace.Kernel {
+	rng := prng.New(seed)
+	k := &trace.Kernel{Name: "rdd-parallel"}
+	for b := 0; b < blocks; b++ {
+		blk := &trace.Block{}
+		for w := 0; w < 3; w++ {
+			wt := &trace.WarpTrace{}
+			for i := 0; i < instrsPerWarp; i++ {
+				pc := uint32(rng.Intn(10))
+				lanes := 1 + rng.Intn(32)
+				addrs := make([]addr.Addr, lanes)
+				for l := range addrs {
+					addrs[l] = addr.Addr(rng.Intn(1 << 16))
+				}
+				if rng.Intn(4) == 0 {
+					wt.Instrs = append(wt.Instrs, trace.NewStore(pc, addrs))
+				} else {
+					wt.Instrs = append(wt.Instrs, trace.NewLoad(pc, addrs))
+				}
+			}
+			blk.Warps = append(blk.Warps, wt)
+		}
+		k.Blocks = append(k.Blocks, blk)
+	}
+	return k
+}
+
+// TestProfileKernelCoresDifferential pins the parallel profiler to the
+// serial one: identical Global and PerPC histograms and counters at
+// every core count, including counts that don't divide the SMs evenly.
+func TestProfileKernelCoresDifferential(t *testing.T) {
+	k := manyBlockKernel(3, 24, 20)
+	geom := config.Baseline().L1D
+	want := ProfileKernel(k, 16, geom)
+	for _, cores := range []int{2, 3, 8, 16, 64} {
+		got := ProfileKernelCores(k, 16, geom, cores)
+		if got.Accesses != want.Accesses || got.Reuses != want.Reuses {
+			t.Errorf("cores=%d: accesses/reuses %d/%d, want %d/%d",
+				cores, got.Accesses, got.Reuses, want.Accesses, want.Reuses)
+		}
+		if got.Global.Total() != want.Global.Total() {
+			t.Errorf("cores=%d: global total %d, want %d", cores, got.Global.Total(), want.Global.Total())
+		}
+		for _, v := range want.Global.Keys() {
+			if got.Global.Count(v) != want.Global.Count(v) {
+				t.Errorf("cores=%d: global[%d] = %d, want %d", cores, v, got.Global.Count(v), want.Global.Count(v))
+			}
+		}
+		if len(got.PerPC) != len(want.PerPC) {
+			t.Errorf("cores=%d: %d PCs, want %d", cores, len(got.PerPC), len(want.PerPC))
+		}
+		for pc, wh := range want.PerPC {
+			gh, ok := got.PerPC[pc]
+			if !ok {
+				t.Errorf("cores=%d: PC %d missing", cores, pc)
+				continue
+			}
+			if gh.Total() != wh.Total() {
+				t.Errorf("cores=%d: PC %d total %d, want %d", cores, pc, gh.Total(), wh.Total())
+			}
+		}
+	}
+}
+
+// TestReuseMissRateCoresDifferential does the same for the Fig. 4 LRU
+// replay across the three paper geometries.
+func TestReuseMissRateCoresDifferential(t *testing.T) {
+	k := manyBlockKernel(7, 24, 20)
+	for _, geom := range []config.CacheGeom{
+		config.Baseline().L1D, config.L1D32KB().L1D, config.L1D64KB().L1D,
+	} {
+		want := ReuseMissRate(k, 16, geom)
+		for _, cores := range []int{2, 5, 16} {
+			if got := ReuseMissRateCores(k, 16, geom, cores); got != want {
+				t.Errorf("geom %+v cores=%d: %v, want %v", geom, cores, got, want)
+			}
+		}
+	}
+}
+
+// TestReplayAllocsStreamIndependent pins the satellite's allocation
+// cut: the replay's allocations are proportional to the cache state it
+// builds (SMs × sets, distinct lines), not to the length of the memory
+// stream. Replaying the same working set with 8× the accesses must not
+// allocate more — before the scratch-buffer reuse, every instruction
+// allocated its coalesced-line slice and every block its warp cursors.
+func TestReplayAllocsStreamIndependent(t *testing.T) {
+	build := func(touches int) *trace.Kernel {
+		k := &trace.Kernel{Name: "alloc"}
+		for b := 0; b < 16; b++ {
+			blk := &trace.Block{}
+			wt := &trace.WarpTrace{}
+			for tch := 0; tch < touches; tch++ {
+				for line := 0; line < 8; line++ {
+					wt.Instrs = append(wt.Instrs,
+						trace.NewLoad(uint32(line), []addr.Addr{addr.Addr((b*8 + line) * 128)}))
+				}
+			}
+			blk.Warps = append(blk.Warps, wt)
+			k.Blocks = append(k.Blocks, blk)
+		}
+		k.PrecomputeCoalesced(128)
+		return k
+	}
+	short, long := build(2), build(16)
+	geom := config.Baseline().L1D
+	measure := func(k *trace.Kernel) float64 {
+		return testing.AllocsPerRun(10, func() {
+			ProfileKernel(k, 16, geom)
+			ReuseMissRate(k, 16, geom)
+		})
+	}
+	a, b := measure(short), measure(long)
+	// Identical working sets, so only map-internals jitter is tolerated.
+	if b > a*1.1 {
+		t.Errorf("8x the accesses allocates %.0f vs %.0f: replay allocations scale with stream length", b, a)
+	}
+}

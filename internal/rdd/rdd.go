@@ -10,6 +10,7 @@ package rdd
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/addr"
 	"repro/internal/config"
@@ -109,14 +110,38 @@ func (t *tracker) access(a addr.Addr, pc uint32) {
 // round-robin and interleaving warp memory instructions round-robin
 // within each SM, mirroring the simulator's dispatch.
 func ProfileKernel(k *trace.Kernel, numSMs int, geom config.CacheGeom) *Profile {
-	prof := &Profile{
-		Global: stats.NewHistogram(),
-		PerPC:  make(map[uint32]*stats.Histogram),
-	}
-	replay(k, numSMs, func(sm int) func(addr.Addr, uint32) {
+	return ProfileKernelCores(k, numSMs, geom, 1)
+}
+
+// ProfileKernelCores is ProfileKernel on a pool of cores goroutines.
+// Each SM's replay is independent (its own cache view, its own
+// counters), so SMs are striped across workers, each worker fills a
+// private Profile, and the shards merge afterwards. Every merged
+// counter is a sum, so the result is identical to the serial profile
+// at any core count.
+func ProfileKernelCores(k *trace.Kernel, numSMs int, geom config.CacheGeom, cores int) *Profile {
+	shards := shardSMs(k, numSMs, cores, func() *Profile {
+		return &Profile{
+			Global: stats.NewHistogram(),
+			PerPC:  make(map[uint32]*stats.Histogram),
+		}
+	}, func(prof *Profile, sm int) func(addr.Addr, uint32) {
 		t := newTracker(geom, prof)
 		return t.access
 	})
+	prof := shards[0]
+	for _, sh := range shards[1:] {
+		prof.Global.Merge(sh.Global)
+		for pc, h := range sh.PerPC {
+			if have, ok := prof.PerPC[pc]; ok {
+				have.Merge(h)
+			} else {
+				prof.PerPC[pc] = h
+			}
+		}
+		prof.Accesses += sh.Accesses
+		prof.Reuses += sh.Reuses
+	}
 	return prof
 }
 
@@ -142,77 +167,143 @@ func (s *lruSet) touch(tag uint64, ways int) (hit bool) {
 	return false
 }
 
+// missShard counts one worker's share of the Fig. 4 LRU replay.
+type missShard struct {
+	reuses      uint64
+	reuseMisses uint64
+}
+
 // ReuseMissRate replays the stream through LRU caches of the given
 // geometry and returns the miss rate over non-compulsory accesses only
 // (Fig. 4 excludes compulsory misses).
 func ReuseMissRate(k *trace.Kernel, numSMs int, geom config.CacheGeom) float64 {
+	return ReuseMissRateCores(k, numSMs, geom, 1)
+}
+
+// ReuseMissRateCores is ReuseMissRate with the SMs striped across cores
+// goroutines; the per-shard counters sum to the serial result exactly.
+func ReuseMissRateCores(k *trace.Kernel, numSMs int, geom config.CacheGeom, cores int) float64 {
 	kind := addr.LinearIndex
 	if geom.Hashed {
 		kind = addr.HashIndex
 	}
+	shards := shardSMs(k, numSMs, cores, func() *missShard { return &missShard{} },
+		func(ms *missShard, sm int) func(addr.Addr, uint32) {
+			m := addr.MustMapper(geom.LineSize, geom.Sets, kind)
+			sets := make([]lruSet, geom.Sets)
+			seen := make(map[uint64]bool)
+			return func(a addr.Addr, pc uint32) {
+				tag := m.Tag(a)
+				first := !seen[tag]
+				seen[tag] = true
+				hit := sets[m.Set(a)].touch(tag, geom.Ways)
+				if first {
+					return
+				}
+				ms.reuses++
+				if !hit {
+					ms.reuseMisses++
+				}
+			}
+		})
 	var reuses, reuseMisses uint64
-	replay(k, numSMs, func(sm int) func(addr.Addr, uint32) {
-		m := addr.MustMapper(geom.LineSize, geom.Sets, kind)
-		sets := make([]lruSet, geom.Sets)
-		seen := make(map[uint64]bool)
-		return func(a addr.Addr, pc uint32) {
-			tag := m.Tag(a)
-			first := !seen[tag]
-			seen[tag] = true
-			hit := sets[m.Set(a)].touch(tag, geom.Ways)
-			if first {
-				return
-			}
-			reuses++
-			if !hit {
-				reuseMisses++
-			}
-		}
-	})
+	for _, ms := range shards {
+		reuses += ms.reuses
+		reuseMisses += ms.reuseMisses
+	}
 	if reuses == 0 {
 		return 0
 	}
 	return float64(reuseMisses) / float64(reuses)
 }
 
-// replay walks the kernel's memory accesses in dispatch order, invoking
-// sink(sm) once per SM to obtain that SM's access function.
-func replay(k *trace.Kernel, numSMs int, sink func(sm int) func(addr.Addr, uint32)) {
-	lineSize := 128
+// replayScratch holds one worker's reusable replay buffers: the
+// per-block warp cursors and the coalescing output. Reusing them is
+// what keeps the replay's allocation count proportional to the cache
+// state (SMs, sets, distinct lines) instead of the stream length.
+type replayScratch struct {
+	ptrs    []int
+	lineBuf []addr.Addr
+}
+
+// shardSMs distributes the kernel's blocks round-robin over numSMs SMs
+// (mirroring the simulator's dispatch), stripes the SMs across
+// min(cores, numSMs) workers, and replays each SM through an access
+// function built by sink over the worker's shard. Shards are private
+// to their worker — sink is called on the worker goroutine — so the
+// replay is race-free without locks; callers fold the shards, whose
+// counters are order-independent sums.
+func shardSMs[S any](k *trace.Kernel, numSMs, cores int,
+	newShard func() S, sink func(shard S, sm int) func(addr.Addr, uint32)) []S {
 	perSM := make([][]*trace.Block, numSMs)
 	for i, b := range k.Blocks {
 		perSM[i%numSMs] = append(perSM[i%numSMs], b)
 	}
-	for smID, blocks := range perSM {
-		if len(blocks) == 0 {
-			continue
-		}
-		access := sink(smID)
-		for _, b := range blocks {
-			// Round-robin one memory instruction per warp per turn,
-			// approximating fine-grained multithreaded issue.
-			ptrs := make([]int, len(b.Warps))
-			remaining := 0
-			for wi, w := range b.Warps {
-				ptrs[wi] = nextMem(w, 0)
-				if ptrs[wi] < len(w.Instrs) {
-					remaining++
-				}
+	if cores > numSMs {
+		cores = numSMs
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	shards := make([]S, cores)
+	work := func(w int) {
+		shards[w] = newShard()
+		var sc replayScratch
+		for sm := w; sm < numSMs; sm += cores {
+			if len(perSM[sm]) == 0 {
+				continue
 			}
-			for remaining > 0 {
-				for wi, w := range b.Warps {
-					p := ptrs[wi]
-					if p >= len(w.Instrs) {
-						continue
-					}
-					in := &w.Instrs[p]
-					for _, line := range in.CoalescedLines(lineSize) {
-						access(line, in.PC)
-					}
-					ptrs[wi] = nextMem(w, p+1)
-					if ptrs[wi] >= len(w.Instrs) {
-						remaining--
-					}
+			replaySM(perSM[sm], sink(shards[w], sm), &sc)
+		}
+	}
+	if cores == 1 {
+		work(0)
+		return shards
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < cores; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			work(w)
+		}(w)
+	}
+	wg.Wait()
+	return shards
+}
+
+// replaySM walks one SM's blocks in dispatch order, invoking access for
+// every coalesced line.
+func replaySM(blocks []*trace.Block, access func(addr.Addr, uint32), sc *replayScratch) {
+	const lineSize = 128
+	for _, b := range blocks {
+		// Round-robin one memory instruction per warp per turn,
+		// approximating fine-grained multithreaded issue.
+		if cap(sc.ptrs) < len(b.Warps) {
+			sc.ptrs = make([]int, len(b.Warps))
+		}
+		ptrs := sc.ptrs[:len(b.Warps)]
+		remaining := 0
+		for wi, w := range b.Warps {
+			ptrs[wi] = nextMem(w, 0)
+			if ptrs[wi] < len(w.Instrs) {
+				remaining++
+			}
+		}
+		for remaining > 0 {
+			for wi, w := range b.Warps {
+				p := ptrs[wi]
+				if p >= len(w.Instrs) {
+					continue
+				}
+				in := &w.Instrs[p]
+				sc.lineBuf = in.AppendCoalescedLines(sc.lineBuf[:0], lineSize)
+				for _, line := range sc.lineBuf {
+					access(line, in.PC)
+				}
+				ptrs[wi] = nextMem(w, p+1)
+				if ptrs[wi] >= len(w.Instrs) {
+					remaining--
 				}
 			}
 		}

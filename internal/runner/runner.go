@@ -150,6 +150,16 @@ type Runner struct {
 	// is execution policy: the checks never change simulation results,
 	// so it does not participate in cache keys.
 	SelfCheck bool
+	// Cores is the default intra-simulation phase parallelism
+	// (sim.Options.Cores) for jobs that don't set their own. The two
+	// levels compose without oversubscription: the effective value is
+	// capped so Workers × Cores stays within GOMAXPROCS — with 8
+	// workers on a 16-way host each simulation gets 2 shards; once the
+	// batch is narrower than the pool, raise Cores to soak up the idle
+	// CPUs. A job whose Opts.Cores is set explicitly is honored as
+	// given, cap or no cap. Simulation output is bit-identical at
+	// every value, so Cores never participates in cache keys.
+	Cores int
 	// Intercept, when non-nil, wraps every simulation attempt. This is
 	// the deterministic fault-injection seam; production callers leave
 	// it nil.
@@ -182,6 +192,7 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	cores := effectiveCores(r.Cores, workers)
 
 	callerCtx := ctx
 	ctx, cancel := context.WithCancel(ctx)
@@ -241,7 +252,7 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i] = r.runOne(ctx, i, jobs[i], emit)
+				results[i] = r.runOne(ctx, i, jobs[i], cores, emit)
 			}
 		}()
 	}
@@ -289,9 +300,27 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	return results, nil
 }
 
+// effectiveCores resolves Runner.Cores against the worker-pool size:
+// the product of the two parallelism levels must not exceed
+// GOMAXPROCS, or the phase barriers would thrash an oversubscribed
+// scheduler. requested <= 1 short-circuits to serial.
+func effectiveCores(requested, workers int) int {
+	if requested <= 1 {
+		return 1
+	}
+	if limit := runtime.GOMAXPROCS(0) / workers; requested > limit {
+		requested = limit
+	}
+	return max(requested, 1)
+}
+
 // runOne executes (or recalls) a single job, retrying transient
-// failures up to Runner.Retries times.
-func (r *Runner) runOne(ctx context.Context, i int, j Job, emit func(Event)) Result {
+// failures up to Runner.Retries times. cores fills Job.Opts.Cores for
+// jobs that left it zero.
+func (r *Runner) runOne(ctx context.Context, i int, j Job, cores int, emit func(Event)) Result {
+	if j.Opts.Cores == 0 {
+		j.Opts.Cores = cores
+	}
 	emit(Event{Kind: JobStarted, Index: i, Label: j.Label})
 	key := ""
 	if r.Cache != nil {

@@ -1,0 +1,302 @@
+// Phase-parallel ticking: the engine's second level of parallelism.
+//
+// The runner already parallelizes *across* simulations; this file
+// parallelizes *inside* one. Each cycle's component phase — the L2
+// partition ticks and the SM ticks, which only mutate component-local
+// state — is striped across a small persistent worker pool
+// (Options.Cores shards), with the coordinator running shard 0 itself.
+// Everything that touches shared state (network pushes and pops, MSHR
+// response delivery, recycled-store routing) stays on the coordinator,
+// in fixed component order, so the simulation output is bit-identical
+// at every core count. DESIGN.md §10 carries the full determinism
+// argument.
+//
+// The barrier is a hybrid spin-then-park eventcount: phases are
+// announced by bumping an atomic sequence number, completion by an
+// atomic countdown. Both sides spin briefly when real CPUs are
+// available and otherwise park on per-worker wake channels (capacity 1,
+// non-blocking sends), so an oversubscribed or single-CPU host
+// degrades to cheap channel handoffs instead of burning timeslices.
+// Every park rechecks its condition in a loop, which makes stale
+// tokens — at most one per channel — harmless.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// shardResult is one shard's per-cycle output: whether its components
+// did work, and its partial fast-forward fold (the earliest cycle any
+// of its components has scheduled, or a mustTick veto). The pad keeps
+// results on separate cache lines so concurrent writers don't false-
+// share.
+type shardResult struct {
+	active bool
+	// mustTick vetoes fast-forwarding: some component in the shard
+	// needs per-cycle ticking (a draining LD/ST queue, a queued
+	// partition request).
+	mustTick bool
+	// next is the shard's earliest scheduled component event, or
+	// ^uint64(0) when none. Only meaningful when the whole cycle was
+	// inactive — which is the only time the run loop reads it.
+	next uint64
+	// panicVal/panicStack record a panic recovered on a pool worker;
+	// the coordinator rethrows it as a *PhasePanicError after the
+	// barrier.
+	panicVal   any
+	panicStack []byte
+	_          [72]byte
+}
+
+// PhasePanicError wraps a panic that escaped a simulation phase worker.
+// The coordinator rethrows it on the engine's own goroutine, so it
+// travels the same recovery path as a serial-engine panic: the runner
+// catches it and surfaces a *runner.JobPanicError whose Value is this
+// error, keeping the worker's original panic value and stack reachable.
+type PhasePanicError struct {
+	// Worker is the shard index the panic escaped from (1-based: shard
+	// 0 runs on the coordinator and panics through Run directly).
+	Worker int
+	// Cycle is the simulated cycle whose component phase panicked.
+	Cycle uint64
+	// Value is the original panic value.
+	Value any
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (e *PhasePanicError) Error() string {
+	return fmt.Sprintf("sim: phase worker %d panicked at cycle %d: %v", e.Worker, e.Cycle, e.Value)
+}
+
+// tickShard advances the components whose index ≡ worker (mod stride):
+// first the L2 partitions, then the SMs — the same relative order the
+// serial engine used. Ticks mutate only component-local state, so
+// shards are disjoint by construction and need no locks. When the
+// shard's components all took their idle path, the shard's fast-forward
+// partial (mustTick / earliest next event) is computed in the same
+// pass, which is what lets nextInterestingCycle run without a second
+// component sweep.
+func (e *Engine) tickShard(worker, stride int, now uint64, res *shardResult) {
+	if hook := e.opts.PhaseHook; hook != nil {
+		hook(worker, now)
+	}
+	active := false
+	for i := worker; i < len(e.parts); i += stride {
+		// A non-Busy partition's tick is a pure no-op and is skipped.
+		if p := e.parts[i]; p.Busy(now) {
+			p.Tick(now)
+			active = true
+		}
+	}
+	// A Done SM has no warps, no queued blocks, and a drained cache;
+	// nothing can re-activate it (blocks are assigned only before the
+	// cycle loop), so its tick is skipped outright.
+	for i := worker; i < len(e.sms); i += stride {
+		if s := e.sms[i]; !s.Done() && s.Tick(now) {
+			active = true
+		}
+	}
+	res.active = active
+	res.mustTick = false
+	res.next = ^uint64(0)
+	if active {
+		// The partial is never read for an active cycle.
+		return
+	}
+	for i := worker; i < len(e.parts); i += stride {
+		p := e.parts[i]
+		if p.Queued() {
+			res.mustTick = true
+			return
+		}
+		if a, ok := p.NextEvent(); ok && a < res.next {
+			res.next = a
+		}
+	}
+	for i := worker; i < len(e.sms); i += stride {
+		s := e.sms[i]
+		if s.Done() {
+			continue
+		}
+		w, ok := s.NextWake(now)
+		if !ok {
+			res.mustTick = true
+			return
+		}
+		if w < res.next {
+			res.next = w
+		}
+	}
+}
+
+// phasePool is the persistent worker pool behind Options.Cores > 1. It
+// lives for one Run: workers park between phases and exit when stop
+// flips quit and bumps the sequence one last time.
+type phasePool struct {
+	e *Engine
+	// seq announces phases: each bump releases the workers into one
+	// tickShard call. Its atomic store/load pair also publishes the
+	// plain now and quit fields.
+	seq  atomic.Uint64
+	now  uint64
+	quit bool
+	// remaining counts workers still inside the current phase; the
+	// last one out posts a token on doneCh (cap 1, non-blocking).
+	remaining atomic.Int32
+	doneCh    chan struct{}
+	// sleeping[w] marks worker w as parked on wakeCh[w]; the
+	// coordinator CASes it back before posting a wake token, so
+	// already-running workers cost one atomic load per phase.
+	sleeping []atomic.Bool
+	wakeCh   []chan struct{}
+	// spin is how many condition-checks both sides burn before
+	// parking; zero whenever the host can't actually run the shards
+	// concurrently, where spinning would just steal the timeslice the
+	// other side needs.
+	spin int
+	wg   sync.WaitGroup
+}
+
+func newPhasePool(e *Engine) *phasePool {
+	n := len(e.shards)
+	pp := &phasePool{
+		e:        e,
+		doneCh:   make(chan struct{}, 1),
+		sleeping: make([]atomic.Bool, n),
+		wakeCh:   make([]chan struct{}, n),
+		spin:     spinBudget(n),
+	}
+	for w := 1; w < n; w++ {
+		pp.wakeCh[w] = make(chan struct{}, 1)
+		pp.wg.Add(1)
+		go pp.worker(w)
+	}
+	return pp
+}
+
+// spinBudget picks the busy-wait budget for a pool of n shards: a few
+// thousand checks when the host has enough schedulable CPUs to run them
+// all, zero otherwise (park immediately; on a single CPU the peer can
+// only progress once we yield).
+func spinBudget(n int) int {
+	if runtime.GOMAXPROCS(0) < n || runtime.NumCPU() < n {
+		return 0
+	}
+	return 4096
+}
+
+// runPhase executes one component phase across all shards and returns
+// after every shard has finished. Called by the coordinator, which
+// ticks shard 0 itself. If a worker's shard panicked, the recovered
+// value is rethrown here as a *PhasePanicError so it unwinds through
+// Run on the engine's own goroutine.
+func (pp *phasePool) runPhase(now uint64) {
+	n := len(pp.e.shards)
+	pp.now = now
+	pp.remaining.Store(int32(n - 1))
+	pp.seq.Add(1)
+	for w := 1; w < n; w++ {
+		if pp.sleeping[w].CompareAndSwap(true, false) {
+			select {
+			case pp.wakeCh[w] <- struct{}{}:
+			default:
+			}
+		}
+	}
+	pp.e.tickShard(0, n, now, &pp.e.shards[0])
+	for i := 0; pp.remaining.Load() != 0; i++ {
+		if i < pp.spin {
+			continue
+		}
+		// Block until some phase posts completion. The token may be a
+		// stale leftover (we previously observed remaining==0 by
+		// spinning and left it unconsumed); the loop condition sorts
+		// that out, and consuming it guarantees the next real post
+		// finds room in the channel.
+		<-pp.doneCh
+	}
+	for w := 1; w < n; w++ {
+		if sh := &pp.e.shards[w]; sh.panicVal != nil {
+			panic(&PhasePanicError{Worker: w, Cycle: now, Value: sh.panicVal, Stack: sh.panicStack})
+		}
+	}
+}
+
+// stop shuts the pool down. In the normal path no phase is in flight;
+// on the coordinator-panic path workers may still be ticking, in which
+// case they finish their shard, observe the bumped sequence, and exit.
+func (pp *phasePool) stop() {
+	pp.quit = true
+	pp.seq.Add(1)
+	for w := 1; w < len(pp.e.shards); w++ {
+		if pp.sleeping[w].CompareAndSwap(true, false) {
+			select {
+			case pp.wakeCh[w] <- struct{}{}:
+			default:
+			}
+		}
+	}
+	pp.wg.Wait()
+}
+
+func (pp *phasePool) worker(w int) {
+	defer pp.wg.Done()
+	n := len(pp.e.shards)
+	var last uint64
+	for {
+		last = pp.await(w, last)
+		if pp.quit {
+			return
+		}
+		pp.tickRecover(w, n)
+		if pp.remaining.Add(-1) == 0 {
+			select {
+			case pp.doneCh <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// tickRecover runs the worker's shard with a recover fence: a panic is
+// recorded in the shard result for the coordinator to rethrow, instead
+// of killing the process from a goroutine nobody is recovering on.
+func (pp *phasePool) tickRecover(w, n int) {
+	sh := &pp.e.shards[w]
+	defer func() {
+		if v := recover(); v != nil {
+			sh.panicVal = v
+			sh.panicStack = debug.Stack()
+		}
+	}()
+	pp.e.tickShard(w, n, pp.now, sh)
+}
+
+// await blocks until the phase sequence moves past last and returns the
+// new value. The park protocol cannot miss a wakeup: the worker
+// publishes sleeping=true *before* rechecking seq, and the coordinator
+// bumps seq *before* scanning the sleeping flags — so either the worker
+// sees the new seq and never parks, or the coordinator sees the flag
+// and posts a token.
+func (pp *phasePool) await(w int, last uint64) uint64 {
+	for i := 0; ; i++ {
+		if s := pp.seq.Load(); s != last {
+			return s
+		}
+		if i < pp.spin {
+			continue
+		}
+		pp.sleeping[w].Store(true)
+		if s := pp.seq.Load(); s != last {
+			pp.sleeping[w].Store(false)
+			return s
+		}
+		<-pp.wakeCh[w]
+		i = -1 // token may be stale; re-verify from the top
+	}
+}

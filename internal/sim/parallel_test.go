@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// coreCounts is the matrix the differential tests sweep: serial, the
+// smallest parallel pool, and more shards than this host has CPUs
+// (which exercises the park path of the barrier).
+var coreCounts = []int{1, 2, 8}
+
+// TestCoresDifferential is the determinism pin for phase parallelism:
+// the same kernel run at every core count — with SelfCheck sweeping the
+// activity accounting on every leg — must produce bit-identical stats,
+// across scheduler/throttle variants and both policies. Run under
+// -race this is also the data-race proof for the component phase.
+func TestCoresDifferential(t *testing.T) {
+	for name, cfg := range activityConfigs() {
+		for _, policy := range []config.Policy{config.PolicyBaseline, config.PolicyDLP} {
+			t.Run(name+"/"+policy.String(), func(t *testing.T) {
+				var want *stats.Stats
+				for _, cores := range coreCounts {
+					st, err := RunOnce(context.Background(), cfg, policy,
+						mixedKernel(23), Options{SelfCheck: true, Cores: cores})
+					if err != nil {
+						t.Fatalf("cores=%d: %v", cores, err)
+					}
+					if want == nil {
+						want = st
+						continue
+					}
+					if *st != *want {
+						t.Errorf("cores=%d diverged:\nserial  %+v\nparallel %+v", cores, want, st)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCoresFastForwardDifferential repeats the fast-forward proof on a
+// parallel engine: the per-shard partial minima must fold to the same
+// jumps the serial sweep computed, so disabling the optimization
+// changes nothing but the stepped-cycle count.
+func TestCoresFastForwardDifferential(t *testing.T) {
+	cfg := config.Baseline()
+	run := func(cores int, disableFF bool) (uint64, stats.Stats) {
+		e, err := New(cfg, config.PolicyDLP, Options{SelfCheck: true, Cores: cores})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.disableFastForward = disableFF
+		var stepped uint64
+		e.testHook = func(uint64, bool) { stepped++ }
+		st, err := e.Run(context.Background(), mixedKernel(31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stepped, *st
+	}
+	_, serial := run(1, false)
+	for _, cores := range []int{2, 8} {
+		ffSteps, ffStats := run(cores, false)
+		fullSteps, fullStats := run(cores, true)
+		if ffStats != serial || fullStats != serial {
+			t.Errorf("cores=%d diverged from serial:\nserial %+v\n    ff %+v\n  full %+v",
+				cores, serial, ffStats, fullStats)
+		}
+		if ffSteps >= fullSteps {
+			t.Errorf("cores=%d: fast-forward stepped %d cycles, full run %d: nothing was skipped",
+				cores, ffSteps, fullSteps)
+		}
+	}
+}
+
+// TestCoresClamped proves Options.Cores beyond the component count is
+// clamped rather than spawning useless workers.
+func TestCoresClamped(t *testing.T) {
+	cfg := config.Baseline()
+	e, err := New(cfg, config.PolicyBaseline, Options{Cores: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := max(cfg.NumSMs, cfg.NumPartitions); len(e.shards) != want {
+		t.Errorf("1024 cores clamped to %d shards, want %d", len(e.shards), want)
+	}
+}
+
+// TestPhaseHookCoverage proves the hook seam fires on every shard of
+// every stepped cycle — the property the fault-injection suite's
+// worker-panic case relies on.
+func TestPhaseHookCoverage(t *testing.T) {
+	const cores = 4
+	var perWorker [cores]atomic.Uint64
+	_, err := RunOnce(context.Background(), config.Baseline(), config.PolicyDLP,
+		mixedKernel(5), Options{
+			Cores:     cores,
+			PhaseHook: func(w int, _ uint64) { perWorker[w].Add(1) },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := perWorker[0].Load()
+	if n == 0 {
+		t.Fatal("phase hook never fired")
+	}
+	for w := 1; w < cores; w++ {
+		if got := perWorker[w].Load(); got != n {
+			t.Errorf("worker %d saw %d phases, coordinator saw %d", w, got, n)
+		}
+	}
+}
+
+// TestPhaseWorkerPanicRethrown proves a panic on a pool worker is
+// rethrown on the engine's goroutine as a typed *PhasePanicError
+// carrying the worker's identity, panic value, and stack — the
+// engine-level half of the runner's *JobPanicError guarantee.
+func TestPhaseWorkerPanicRethrown(t *testing.T) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("worker panic did not propagate")
+		}
+		pe, ok := v.(*PhasePanicError)
+		if !ok {
+			t.Fatalf("propagated as %T (%v), want *PhasePanicError", v, v)
+		}
+		if pe.Worker != 1 {
+			t.Errorf("Worker = %d, want 1", pe.Worker)
+		}
+		if want := "injected phase fault"; pe.Value != want {
+			t.Errorf("Value = %v, want %q", pe.Value, want)
+		}
+		if !strings.Contains(string(pe.Stack), "tickShard") {
+			t.Errorf("stack does not show the phase tick:\n%s", pe.Stack)
+		}
+		var err error = pe
+		if !errors.As(err, &pe) {
+			t.Error("not reachable through errors.As")
+		}
+	}()
+	_, _ = RunOnce(context.Background(), config.Baseline(), config.PolicyDLP,
+		mixedKernel(5), Options{
+			Cores: 2,
+			PhaseHook: func(w int, cycle uint64) {
+				if w == 1 && cycle >= 3 {
+					panic("injected phase fault")
+				}
+			},
+		})
+}

@@ -42,6 +42,22 @@ type Options struct {
 	// disabled one — which is also why SelfCheck is excluded from the
 	// runner's cache key.
 	SelfCheck bool
+	// Cores sets the engine's internal phase parallelism: how many
+	// shards tick the SMs and L2 partitions concurrently each cycle.
+	// 0 or 1 means fully serial (no extra goroutines). Results are
+	// bit-identical at every value — the parallel phase only touches
+	// component-local state, and all cross-component interaction runs
+	// serially in fixed SM/partition order (see DESIGN.md §10) — so
+	// Cores, like SelfCheck, is excluded from the runner's cache key.
+	// Values beyond the component count are clamped.
+	Cores int
+	// PhaseHook, when non-nil, is called by every shard (the
+	// coordinator is shard 0) at the top of each component phase with
+	// the shard's worker index and the current cycle. It is a test and
+	// fault-injection seam — e.g. proving a panic on a phase worker
+	// surfaces as a typed error — and must not mutate engine state. It
+	// never affects results and is excluded from cache keys.
+	PhaseHook func(worker int, cycle uint64)
 }
 
 // Float returns a pointer to v, for populating optional Options fields:
@@ -65,6 +81,9 @@ func (o Options) withDefaults() Options {
 	if o.InjectionRate == 0 {
 		o.InjectionRate = 2
 	}
+	if o.Cores < 1 {
+		o.Cores = 1
+	}
 	return o
 }
 
@@ -83,13 +102,30 @@ type Engine struct {
 	net   *interconnect.Network
 	parts []*l2.Partition
 	netSt *stats.Stats
-	memSt *stats.Stats
+	// partSt holds one Stats per L2 partition. Partitions tick
+	// concurrently under Options.Cores > 1, so they cannot share one
+	// counter block; the per-partition sums are folded in collect,
+	// where uint64 addition makes the totals independent of core count.
+	partSt []*stats.Stats
 
-	// pool recycles mem.Request objects across the whole machine: SMs
-	// allocate from it, load deliveries and store write-throughs return
-	// to it. The engine is single-threaded, so one unlocked pool serves
-	// every component.
-	pool *mem.Pool
+	// pools recycle mem.Request objects, one unlocked pool per SM: an
+	// SM allocates from and returns loads to its own pool during its
+	// shard's tick, and store requests consumed by L2 partitions are
+	// deferred into per-partition recyclers that the serial phase
+	// drains back to the issuing SM's pool (Request.SM). putHome is
+	// that routing function, bound once so draining allocates nothing.
+	pools     []*mem.Pool
+	recyclers []*mem.Recycler
+	putHome   func(*mem.Request)
+
+	// shards holds each phase worker's per-cycle output: its activity
+	// flag and its partial fast-forward fold. Shard 0 belongs to the
+	// coordinator; with Cores == 1 it is the only entry and the phase
+	// runs inline with no synchronization at all.
+	shards []shardResult
+	// pp is the persistent phase-worker pool, non-nil only while Run
+	// executes with more than one shard.
+	pp *phasePool
 
 	// testHook, when set by a test in this package, observes every
 	// stepped cycle (skipped cycles are not observed — that they carry
@@ -113,19 +149,31 @@ func New(cfg *config.Config, policy config.Policy, opts Options) (*Engine, error
 		policy: policy,
 		opts:   opts,
 		netSt:  &stats.Stats{},
-		memSt:  &stats.Stats{},
 	}
-	e.pool = mem.NewPool()
+	e.putHome = func(r *mem.Request) { e.pools[r.SM].Put(r) }
+	e.pools = make([]*mem.Pool, cfg.NumSMs)
 	e.sms = make([]*sm.SM, cfg.NumSMs)
 	for i := range e.sms {
-		e.sms[i] = sm.New(cfg, i, policy, e.pool)
+		e.pools[i] = mem.NewPool()
+		e.sms[i] = sm.New(cfg, i, policy, e.pools[i])
 	}
 	e.net = interconnect.New(cfg.ICNTLatency, cfg.ICNTBandwidthFlits,
 		cfg.ICNTFlitBytes, cfg.L1D.LineSize, e.netSt)
+	e.partSt = make([]*stats.Stats, cfg.NumPartitions)
+	e.recyclers = make([]*mem.Recycler, cfg.NumPartitions)
 	e.parts = make([]*l2.Partition, cfg.NumPartitions)
 	for i := range e.parts {
-		e.parts[i] = l2.New(cfg, e.memSt, e.pool)
+		e.partSt[i] = &stats.Stats{}
+		e.recyclers[i] = &mem.Recycler{}
+		e.parts[i] = l2.New(cfg, e.partSt[i], nil)
+		e.parts[i].SetRecycler(e.recyclers[i])
 	}
+	// More shards than the larger component class could ever have work.
+	cores := opts.Cores
+	if m := max(cfg.NumSMs, cfg.NumPartitions); cores > m {
+		cores = m
+	}
+	e.shards = make([]shardResult, cores)
 	return e, nil
 }
 
@@ -139,6 +187,19 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 	}
 	for i, b := range k.Blocks {
 		e.sms[i%len(e.sms)].AssignBlock(b)
+	}
+
+	// With more than one shard, spin up the persistent phase-worker
+	// pool for the duration of the run. The deferred stop also runs on
+	// the panic path (a coordinator-shard panic unwinding through Run),
+	// so worker goroutines never outlive the run that spawned them.
+	if len(e.shards) > 1 {
+		pp := newPhasePool(e)
+		e.pp = pp
+		defer func() {
+			pp.stop()
+			e.pp = nil
+		}()
 	}
 
 	var cycle uint64
@@ -235,6 +296,24 @@ func (e *Engine) selfCheck(k *trace.Kernel, cycle uint64) error {
 // caller's fast-forward. Idle components are skipped via their O(1)
 // activity accounting — a Done SM or a non-Busy partition ticks to the
 // exact same state the full tick would have produced.
+//
+// The cycle is phase-structured so the component ticks can run on
+// multiple shards with bit-identical output at any core count:
+//
+//  1. Serial pre-phase: tick the interconnect and deliver every arrived
+//     packet (requests to partitions, responses to SM L1Ds). Pushes go
+//     to the network's waiting queues, which PopArrived never observes
+//     in the same cycle, so hoisting both deliveries ahead of the
+//     component ticks is equivalent to the old interleaved order.
+//  2. Component phase (parallel): partitions and SMs tick. Ticks only
+//     mutate component-local state — responses queue inside the
+//     partition, outgoing fetches stay in the L1D, consumed stores are
+//     deferred to the partition's recycler — so shards share nothing.
+//  3. Serial post-phase, in fixed partition/SM order: drain partition
+//     responses and recycled stores, then drain each SM's outgoing
+//     fetches under the injection-rate bound. Every network push
+//     happens here, in the same per-direction order as the serial
+//     engine, which pins packet sequence numbers and hence the output.
 func (e *Engine) step(now uint64) bool {
 	// An injection-queue packet means this network tick does real work.
 	active := e.net.HasWaiting()
@@ -251,23 +330,6 @@ func (e *Engine) step(now uint64) bool {
 		active = true
 	}
 
-	// Advance partitions and ship their responses back. A non-Busy
-	// partition's tick is a pure no-op and is skipped.
-	for _, p := range e.parts {
-		if !p.Busy(now) {
-			continue
-		}
-		p.Tick(now)
-		active = true
-		for {
-			resp := p.PopResponse()
-			if resp == nil {
-				break
-			}
-			e.net.Push(interconnect.ToCore, resp)
-		}
-	}
-
 	// Deliver responses to the issuing SM's L1D.
 	for {
 		resp := e.net.PopArrived(interconnect.ToCore)
@@ -278,17 +340,36 @@ func (e *Engine) step(now uint64) bool {
 		active = true
 	}
 
-	// Advance the cores and collect their outgoing fetches. A Done SM
-	// has no warps, no queued blocks, and a drained cache; nothing can
-	// re-activate it (blocks are assigned only before the cycle loop),
-	// so its tick is skipped outright.
-	for _, s := range e.sms {
-		if s.Done() {
-			continue
-		}
-		if s.Tick(now) {
+	// Component phase. With one shard it runs inline; otherwise the
+	// coordinator ticks shard 0 while the pool's workers tick the rest,
+	// and the barrier inside runPhase orders their writes before the
+	// folds below.
+	if e.pp != nil {
+		e.pp.runPhase(now)
+	} else {
+		e.tickShard(0, 1, now, &e.shards[0])
+	}
+	for i := range e.shards {
+		if e.shards[i].active {
 			active = true
 		}
+	}
+
+	// Serial post-phase: all cross-component interaction, in fixed
+	// partition/SM order.
+	for i, p := range e.parts {
+		for {
+			resp := p.PopResponse()
+			if resp == nil {
+				break
+			}
+			e.net.Push(interconnect.ToCore, resp)
+		}
+		if rc := e.recyclers[i]; rc.Len() > 0 {
+			rc.Drain(e.putHome)
+		}
+	}
+	for _, s := range e.sms {
 		for i := 0; i < e.opts.InjectionRate; i++ {
 			out := s.L1D().PopOutgoing()
 			if out == nil {
@@ -305,10 +386,16 @@ func (e *Engine) step(now uint64) bool {
 // machine can do real work, assuming the current cycle was fully
 // inactive. ok=false means some component needs per-cycle ticking (a
 // draining LD/ST queue, a queued partition request, a ready warp) and
-// no jump is safe. The result is clamped to the periodic boundaries the
-// run loop must still observe: the 4096-cycle context check, the
-// self-check sampling grid when enabled, the next 32-cycle quiescence
-// check when no event is scheduled at all, and MaxCycles+1.
+// no jump is safe. The component sweep is pre-folded: each shard
+// recorded its partial minimum (or a mustTick veto) while ticking, so
+// this only folds len(shards) partials with the serial network checks.
+// The partials are valid exactly when this is called — the run loop
+// only fast-forwards inactive cycles, and an inactive cycle means every
+// shard took the idle path that computes them. The result is clamped to
+// the periodic boundaries the run loop must still observe: the
+// 4096-cycle context check, the self-check sampling grid when enabled,
+// the next 32-cycle quiescence check when no event is scheduled at all,
+// and MaxCycles+1.
 func (e *Engine) nextInterestingCycle(now uint64) (uint64, bool) {
 	const inf = ^uint64(0)
 	if e.net.HasWaiting() {
@@ -318,24 +405,13 @@ func (e *Engine) nextInterestingCycle(now uint64) (uint64, bool) {
 	if a, ok := e.net.NextArrival(); ok {
 		t = a
 	}
-	for _, p := range e.parts {
-		if p.Queued() {
+	for i := range e.shards {
+		sh := &e.shards[i]
+		if sh.mustTick {
 			return 0, false
 		}
-		if a, ok := p.NextEvent(); ok && a < t {
-			t = a
-		}
-	}
-	for _, s := range e.sms {
-		if s.Done() {
-			continue
-		}
-		w, ok := s.NextWake(now)
-		if !ok {
-			return 0, false
-		}
-		if w < t {
-			t = w
+		if sh.next < t {
+			t = sh.next
 		}
 	}
 	if t == inf {
@@ -417,7 +493,9 @@ func (e *Engine) checkActivity() error {
 	return nil
 }
 
-// collect sums per-component stats into one Stats.
+// collect sums per-component stats into one Stats. The partition order
+// of the fold is fixed, and every counter is a uint64 sum, so the total
+// is identical at every core count.
 func (e *Engine) collect() *stats.Stats {
 	total := &stats.Stats{}
 	for _, s := range e.sms {
@@ -425,7 +503,9 @@ func (e *Engine) collect() *stats.Stats {
 		total.Add(s.L1D().Stats())
 	}
 	total.Add(e.netSt)
-	total.Add(e.memSt)
+	for _, st := range e.partSt {
+		total.Add(st)
+	}
 	return total
 }
 

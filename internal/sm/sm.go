@@ -87,10 +87,12 @@ type SM struct {
 	schedSleepUntil []uint64
 
 	// Free lists for the steady-state issue path: completed load
-	// requests return via pool (shared with the engine's L2 partitions,
-	// which recycle stores), drained memInstrs via freeMI, retired
+	// requests return via pool, drained memInstrs via freeMI, retired
 	// warps/blocks via freeWarps/freeBlocks. lineBuf is the coalescer's
-	// scratch buffer.
+	// scratch buffer. The pool is owned by this SM alone — the engine
+	// gives every SM its own, so Tick can Get/Put on it while other
+	// shards tick concurrently; stores consumed by L2 partitions come
+	// home through the engine's serial recycler drain, never directly.
 	pool       *mem.Pool
 	freeMI     []*memInstr
 	freeWarps  []*warp

@@ -75,6 +75,42 @@ func TestRunSuiteOrderIndependence(t *testing.T) {
 	}
 }
 
+// TestRunSuiteCoresRenderIdentity pins the two-level pool end to end at
+// the printed-bytes level: the suite on 8 workers with two phase shards
+// inside every simulation (and the sampled self-checks on) must render
+// byte-identically to the plain serial suite. It runs in -short mode on
+// purpose — `make check` then drives the phase barriers, the sharded
+// request pools and the serial post-phase under the race detector.
+func TestRunSuiteCoresRenderIdentity(t *testing.T) {
+	apps := smallApps(t)
+	withGOMAXPROCS(t, 16)
+	render := func(opts *SuiteOptions) string {
+		t.Helper()
+		opts.Apps = apps
+		res, err := RunSuite(context.Background(), smallSchemes(), opts)
+		if err != nil {
+			t.Fatalf("workers=%d cores=%d: %v", opts.Workers, opts.Cores, err)
+		}
+		var b strings.Builder
+		for _, build := range []func() (*Table, error){res.Fig10IPC, res.Fig12aHitRate, res.Fig13ICNT} {
+			tab, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tab.Render(&b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.String()
+	}
+	serial := render(&SuiteOptions{Workers: 1})
+	parallel := render(&SuiteOptions{Workers: 8, Cores: 2, SelfCheck: true})
+	if serial != parallel {
+		t.Errorf("-j8 -cores2 renders differently from serial:\nserial:\n%s\nparallel:\n%s",
+			serial, parallel)
+	}
+}
+
 // TestRunSuiteCacheAvoidsResimulation: with a shared cache, the second
 // RunSuite call performs zero simulations and produces the same tables.
 func TestRunSuiteCacheAvoidsResimulation(t *testing.T) {
