@@ -10,6 +10,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 )
 
 // Each evaluation table/figure has a benchmark that regenerates it. The
@@ -272,6 +273,79 @@ func TestL1DAccessSteadyStateAllocs(t *testing.T) {
 		})
 		if avg != 0 {
 			t.Errorf("%v: L1D steady-state hit path allocates %.2f per access, want 0", p, avg)
+		}
+	}
+}
+
+// TestL1DAccessRegisteredRegistryAllocs proves the metrics registry is
+// free when not sampled: with every counter and gauge of the cache
+// registered (as the engine does when -metrics is set) but no sampling
+// in progress, the steady-state hit path must still allocate nothing.
+// Registration only records pointers to counters the cache already
+// maintains — the access path never calls into the registry.
+func TestL1DAccessRegisteredRegistryAllocs(t *testing.T) {
+	for _, p := range Policies() {
+		cfg := config.Baseline()
+		c := core.NewL1D(cfg, p, func(*mem.Request) {})
+		reg := metrics.NewRegistry()
+		c.RegisterMetrics(reg, "l1d")
+		reg.Seal()
+		req := &mem.Request{ID: 1, Addr: 0x1000, InsnID: addr.HashPC(3)}
+		c.Access(req)
+		for {
+			r := c.PopOutgoing()
+			if r == nil {
+				break
+			}
+			c.OnResponse(r)
+		}
+		now := uint64(0)
+		for i := 0; i < 256; i++ {
+			now++
+			c.Tick(now)
+			req.ID = now
+			c.Access(req)
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			now++
+			c.Tick(now)
+			req.ID = now
+			c.Access(req)
+		})
+		if avg != 0 {
+			t.Errorf("%v: L1D hit path with a registered registry allocates %.2f per access, want 0", p, avg)
+		}
+		// Sampling itself is also allocation-free once sealed.
+		if avg := testing.AllocsPerRun(100, func() { reg.Sample() }); avg != 0 {
+			t.Errorf("%v: registry Sample allocates %.2f per call, want 0", p, avg)
+		}
+	}
+}
+
+// BenchmarkL1DAccessRegisteredRegistry is the benchmark form of the
+// test above, for the perf baseline: allocs/op must report 0.
+func BenchmarkL1DAccessRegisteredRegistry(b *testing.B) {
+	b.ReportAllocs()
+	cfg := config.Baseline()
+	c := core.NewL1D(cfg, DLP, func(*mem.Request) {})
+	reg := metrics.NewRegistry()
+	c.RegisterMetrics(reg, "l1d")
+	reg.Seal()
+	req := &mem.Request{ID: 1, Addr: 0x1000, InsnID: addr.HashPC(3)}
+	c.Access(req)
+	for {
+		r := c.PopOutgoing()
+		if r == nil {
+			break
+		}
+		c.OnResponse(r)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Tick(uint64(i))
+		req.ID = uint64(i + 2)
+		if out := c.Access(req); out != mem.OutcomeHit {
+			b.Fatalf("unexpected outcome %v", out)
 		}
 	}
 }

@@ -20,6 +20,11 @@
 // cells and the process exits 1 after printing every sweep it could.
 // -retries and -timeout bound transient failures and per-job wall
 // time; -selfcheck turns on the engine's sampled invariant sweeps.
+// Exit codes: 0 success, 1 failure or partial sweep, 130 interrupted.
+//
+// Observability: -metrics FILE streams cycle-domain counter samples
+// (JSONL, one series per simulated point); -trace FILE writes a Chrome
+// trace_event timeline of all sweeps, viewable at ui.perfetto.dev.
 package main
 
 import (
@@ -35,6 +40,7 @@ import (
 	"strings"
 
 	dlpsim "repro"
+	"repro/internal/cli"
 )
 
 // profiler owns the optional pprof outputs. Stop is idempotent and runs
@@ -87,9 +93,17 @@ func (p *profiler) Stop() {
 	}
 }
 
-func fatal(v ...any) {
+// obs owns the -metrics/-trace outputs; like prof it is flushed on
+// every exit path (Close is idempotent, and a nil obs is inert).
+var obs *cli.Observability
+
+// fatal reports err and exits with the shared code convention — 130
+// for an interrupted sweep, 1 for everything else.
+func fatal(err error) {
 	prof.Stop()
-	log.Fatal(v...)
+	obs.Close()
+	log.Print(err)
+	os.Exit(cli.ExitCode(err))
 }
 
 func main() {
@@ -107,6 +121,9 @@ func main() {
 	cores := flag.Int("cores", 1, "phase-parallel shards inside each simulation (Workers x cores capped at GOMAXPROCS); output is identical at any value")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsPath := flag.String("metrics", "", "stream cycle-domain counter samples (JSONL) to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
+	metricsEvery := flag.Uint64("metrics-every", 0, "sampling period in cycles for -metrics; 0 = default (4096)")
 	flag.Parse()
 
 	if err := prof.Start(*cpuProfile, *memProfile); err != nil {
@@ -117,6 +134,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	cache := dlpsim.NewRunCache()
+	var err error
+	obs, err = cli.OpenObservability(*metricsPath, *tracePath, cache)
+	if err != nil {
+		fatal(err)
+	}
+	defer obs.Close()
+
 	var apps []string
 	for _, a := range strings.Split(*appsFlag, ",") {
 		apps = append(apps, strings.ToUpper(strings.TrimSpace(a)))
@@ -126,13 +151,13 @@ func main() {
 	// sweep, so the shared baseline points are simulated exactly once.
 	r := &dlpsim.Runner{
 		Workers:   *workers,
-		Cache:     dlpsim.NewRunCache(),
+		Cache:     cache,
 		KeepGoing: *keepGoing,
 		Retries:   *retries,
 		Timeout:   *timeout,
 		SelfCheck: *selfCheck,
 		Cores:     *cores,
-		Events: func(ev dlpsim.RunEvent) {
+		Events: obs.Events(func(ev dlpsim.RunEvent) {
 			if *quiet || ev.Kind != dlpsim.JobDone || ev.Cached {
 				return
 			}
@@ -141,7 +166,9 @@ func main() {
 				return
 			}
 			fmt.Fprintf(os.Stderr, "ran %s (%.1fs)\n", ev.Label, ev.Wall.Seconds())
-		},
+		}),
+		Metrics:      obs.Sink(),
+		MetricsEvery: *metricsEvery,
 	}
 
 	sweeps := map[string]func(context.Context, []string, *dlpsim.Runner) (*dlpsim.Ablation, error){
@@ -172,10 +199,14 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fatal(fmt.Sprintf("unknown sweep %q", *sweep))
+		fatal(fmt.Errorf("unknown sweep %q", *sweep))
 	}
 	if partial {
 		prof.Stop()
+		obs.Close()
 		os.Exit(1)
+	}
+	if err := obs.Close(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -5,11 +5,20 @@
 // gate: the smoke step runs one BenchmarkSuitePaperWall pass, distills
 // it with cmd/benchjson, and hands both documents here.
 //
-// Individual micro-benchmarks are printed side by side for the log but
-// never gated: at smoke iteration counts (and across heterogeneous CI
-// machines) their noise would make a hard threshold flaky, whereas a
-// full-suite wall pass integrates enough work to make >15% a real
-// signal.
+// Wall time only compares meaningfully within one machine class, so
+// the gate checks the baseline's host fingerprint ({num_cpu,
+// gomaxprocs, goarch}, stamped by cmd/benchjson) against the fresh
+// document's before enforcing it: on a mismatch — including baselines
+// recorded before the fingerprint existed — the wall gate is skipped
+// with a warning instead of failing (or silently under-gating) on a
+// differently-sized runner. The allocs/op columns are deterministic
+// per binary, so they gate on every host regardless.
+//
+// Individual micro-benchmark ns/op are printed side by side for the
+// log but never gated: at smoke iteration counts (and across
+// heterogeneous CI machines) their noise would make a hard threshold
+// flaky, whereas a full-suite wall pass integrates enough work to make
+// >15% a real signal.
 //
 // Usage:
 //
@@ -61,6 +70,23 @@ func main() {
 			f.Name, b.NsPerOp, f.NsPerOp, benchfmt.RegressPct(b.NsPerOp, f.NsPerOp))
 	}
 
+	if err := benchfmt.CheckAllocs(base, fresh); err != nil {
+		log.Fatal(err)
+	}
+
+	// The fresh document's own fingerprint stands in for "this host":
+	// benchjson stamps it at measurement time on the same machine that
+	// is now running the gate.
+	freshHost := fresh.Host
+	if freshHost == nil {
+		freshHost = benchfmt.CurrentHost()
+	}
+	if !benchfmt.HostMatches(base.Host, freshHost) {
+		fmt.Printf("benchgate: WARNING: host fingerprint mismatch (baseline: %s; this host: %s); "+
+			"skipping the wall-time gate, allocs/op still enforced\n", base.Host, freshHost)
+		fmt.Println("benchgate: OK (allocs only)")
+		return
+	}
 	if err := benchfmt.CheckWall(base, fresh, *maxPct); err != nil {
 		log.Fatal(err)
 	}

@@ -4,8 +4,10 @@
 // document containing one record per benchmark — name, iterations,
 // ns/op, and the B/op and allocs/op columns when present — plus the
 // wall-clock seconds of one serial RunSuite(PaperSchemes()) pass, taken
-// from the BenchmarkSuitePaperWall result. The document format lives in
-// internal/benchfmt, shared with cmd/benchgate.
+// from the BenchmarkSuitePaperWall result, and a fingerprint of the
+// measuring host ({num_cpu, gomaxprocs, goarch}) so wall-clock numbers
+// are only ever gated within one machine class. The document format
+// lives in internal/benchfmt, shared with cmd/benchgate.
 //
 // Usage:
 //
@@ -31,6 +33,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Stamp the measuring machine so benchgate can tell whether the
+	// wall-clock numbers are comparable to a later run's.
+	doc.Host = benchfmt.CurrentHost()
 	b, err := doc.Encode()
 	if err != nil {
 		log.Fatal(err)

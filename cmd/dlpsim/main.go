@@ -17,6 +17,13 @@
 // error instead of a crash. -timeout D bounds wall time, -retries N
 // re-runs transient failures, and -selfcheck enables the engine's
 // sampled invariant sweeps (results are identical either way).
+// Exit codes: 0 success, 1 failure, 130 interrupted (Ctrl-C).
+//
+// Observability: -metrics FILE streams cycle-domain counter samples
+// (JSONL) from the simulation; -trace FILE writes a Chrome trace_event
+// timeline of the run, viewable at ui.perfetto.dev. Neither affects
+// the simulated results. (The kernel-replay flag formerly called
+// -trace is now -kernel.)
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"repro/internal/cli"
 	"repro/internal/config"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -47,11 +55,14 @@ func main() {
 	list := flag.Bool("list", false, "list available applications")
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	dump := flag.String("dump", "", "write the generated kernel trace to this file and exit")
-	traceFile := flag.String("trace", "", "run a kernel from this trace file instead of -app")
+	kernelFile := flag.String("kernel", "", "run a kernel from this trace file instead of -app")
 	retries := flag.Int("retries", 0, "extra attempts on transient failures")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (e.g. 5m); 0 = none")
 	selfCheck := flag.Bool("selfcheck", false, "enable sampled engine invariant sweeps")
 	cores := flag.Int("cores", 1, "phase-parallel shards inside the simulation; output is identical at any value")
+	metricsPath := flag.String("metrics", "", "stream cycle-domain counter samples (JSONL) to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
+	metricsEvery := flag.Uint64("metrics-every", 0, "sampling period in cycles for -metrics; 0 = default (4096)")
 	flag.Parse()
 	if *cores < 1 {
 		log.Fatalf("-cores %d: must be >= 1", *cores)
@@ -78,8 +89,8 @@ func main() {
 
 	var kernel *trace.Kernel
 	name, class := "", ""
-	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
+	if *kernelFile != "" {
+		f, err := os.Open(*kernelFile)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -115,10 +126,20 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	obs, err := cli.OpenObservability(*metricsPath, *tracePath, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fatal := func(err error) {
+		obs.Close()
+		log.Print(err)
+		os.Exit(cli.ExitCode(err))
+	}
 	// Even a single run goes through the experiment runner: panics are
 	// recovered into errors, the deadline and retry machinery apply, and
 	// behavior matches what the same point does inside a suite.
-	r := &runner.Runner{Workers: 1, Retries: *retries, Timeout: *timeout, SelfCheck: *selfCheck}
+	r := &runner.Runner{Workers: 1, Retries: *retries, Timeout: *timeout, SelfCheck: *selfCheck,
+		Events: obs.Events(nil), Metrics: obs.Sink(), MetricsEvery: *metricsEvery}
 	// -cores is set explicitly on the job (not via Runner.Cores), so a
 	// single run uses exactly what was asked for, GOMAXPROCS cap or no.
 	results, err := r.Run(ctx, []runner.Job{{
@@ -129,6 +150,9 @@ func main() {
 		Opts:   sim.Options{Cores: *cores},
 	}})
 	if err != nil {
+		fatal(err)
+	}
+	if err := obs.Close(); err != nil {
 		log.Fatal(err)
 	}
 	st := results[0].Stats

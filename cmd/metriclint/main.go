@@ -1,0 +1,64 @@
+// Command metriclint validates the observability artifacts the other
+// commands export: a -metrics JSONL time-series file and/or a -trace
+// Chrome trace_event JSON file. It re-parses them with the same
+// internal/metrics readers the tests use — schema headers, per-row
+// arity, known trace phases — and prints a one-line summary per file,
+// so CI can prove an exported file actually loads before anyone tries
+// it in Perfetto. Exit status is 0 when every given file validates,
+// 1 otherwise.
+//
+// Usage:
+//
+//	metriclint -metrics run.jsonl
+//	metriclint -trace run.trace.json
+//	metriclint -metrics run.jsonl -trace run.trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("metriclint: ")
+	metricsPath := flag.String("metrics", "", "JSONL metrics file to validate")
+	tracePath := flag.String("trace", "", "Chrome trace_event JSON file to validate")
+	flag.Parse()
+	if *metricsPath == "" && *tracePath == "" {
+		log.Fatal("nothing to lint: give -metrics and/or -trace")
+	}
+
+	if *metricsPath != "" {
+		f, err := os.Open(*metricsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		set, err := metrics.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", *metricsPath, err)
+		}
+		rows := 0
+		for _, s := range set.Series {
+			rows += len(s.Rows)
+		}
+		fmt.Printf("%s: OK (%d series, %d rows)\n", *metricsPath, len(set.Series), rows)
+	}
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		doc, err := metrics.ReadChromeTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("%s: %v", *tracePath, err)
+		}
+		fmt.Printf("%s: OK (%d events)\n", *tracePath, len(doc.TraceEvents))
+	}
+}

@@ -27,6 +27,17 @@
 // turns on the engine's sampled invariant sweeps (results are
 // byte-identical either way; only a broken engine build notices).
 //
+// Exit codes: 0 success, 1 failure or partial -keep-going suite, 130
+// interrupted (Ctrl-C).
+//
+// Observability: -metrics FILE streams cycle-domain counter samples
+// (JSONL, one series per simulated point) and -trace FILE writes a
+// Chrome trace_event timeline of the whole run — job queue/run/cache
+// spans plus cache and batch-progress counter tracks — viewable at
+// ui.perfetto.dev. -apps BP,HS restricts the simulation suites to an
+// application subset (labels as in Table 2) for quick looks and CI
+// smokes; the committed reference outputs always use the full set.
+//
 // Experiment ids: table2, overhead, fig3, fig4, fig5, fig6, fig7,
 // fig10, fig11a, fig11b, fig12a, fig12b, fig13.
 package main
@@ -46,6 +57,7 @@ import (
 	"time"
 
 	dlpsim "repro"
+	"repro/internal/cli"
 )
 
 // profiler owns the optional pprof outputs. Stop is idempotent and runs
@@ -114,6 +126,10 @@ func main() {
 	coresFlag := flag.Int("cores", 1, "phase-parallel shards inside each simulation (Workers x cores capped at GOMAXPROCS); output is identical at any value")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsPath := flag.String("metrics", "", "stream cycle-domain counter samples (JSONL) to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
+	metricsEvery := flag.Uint64("metrics-every", 0, "sampling period in cycles for -metrics; 0 = default (4096)")
+	appsFlag := flag.String("apps", "", "comma-separated application subset for the simulation suites (default: all 18)")
 	flag.Parse()
 	useCSV := strings.EqualFold(*format, "csv")
 
@@ -139,6 +155,19 @@ func main() {
 		cache, err = dlpsim.OpenRunCache(*cacheDir)
 		check(err)
 	}
+	var err error
+	obs, err = cli.OpenObservability(*metricsPath, *tracePath, cache)
+	check(err)
+	defer obs.Close()
+
+	var apps []dlpsim.Workload
+	if *appsFlag != "" {
+		for _, abbr := range strings.Split(*appsFlag, ",") {
+			spec, err := dlpsim.WorkloadByAbbr(strings.TrimSpace(abbr))
+			check(err)
+			apps = append(apps, spec)
+		}
+	}
 	start := time.Now()
 	var simulated, recalled int
 	events := func(ev dlpsim.RunEvent) {
@@ -163,12 +192,16 @@ func main() {
 	suiteOpts := &dlpsim.SuiteOptions{
 		Workers:   *workers,
 		Cache:     cache,
-		Events:    events,
+		Events:    obs.Events(events),
+		Apps:      apps,
 		KeepGoing: *keepGoing,
 		Retries:   *retries,
 		Timeout:   *timeout,
 		SelfCheck: *selfCheck,
 		Cores:     *coresFlag,
+
+		Metrics:      obs.Sink(),
+		MetricsEvery: *metricsEvery,
 	}
 
 	// In -keep-going mode a suite may come back partial: usable tables
@@ -185,7 +218,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, be.Error())
 				return suite
 			}
-			log.Fatal(err)
+			fatal(err)
 		}
 		return suite
 	}
@@ -272,14 +305,28 @@ func main() {
 	}
 	if partial {
 		prof.Stop()
+		obs.Close()
 		os.Exit(1)
 	}
+	check(obs.Close())
+}
+
+// obs owns the -metrics/-trace outputs; like prof it is flushed on
+// every exit path (Close is idempotent).
+var obs *cli.Observability
+
+// fatal reports err and exits with the shared code convention — 130
+// for an interrupted run, 1 for everything else.
+func fatal(err error) {
+	prof.Stop()
+	obs.Close()
+	log.Print(err)
+	os.Exit(cli.ExitCode(err))
 }
 
 func check(err error) {
 	if err != nil {
-		prof.Stop()
-		log.Fatal(err)
+		fatal(err)
 	}
 }
 

@@ -16,6 +16,16 @@
 // -cores is accepted for CLI uniformity with the other commands but
 // has nothing to parallelize here: the replay is one L1D fed one
 // access at a time, so any value >= 1 runs the same serial loop.
+// Exit codes: 0 success, 1 failure or exhausted -timeout, 130
+// interrupted (Ctrl-C) — an interrupted replay still prints the
+// samples it traced, but exits non-zero so scripts can tell a partial
+// table from a complete one.
+//
+// Observability: -metrics FILE streams the replayed L1D's counter
+// registry as JSONL, one row per sampling period (the cycle column is
+// the replay's access-serial clock); -trace FILE writes a Chrome
+// trace_event file with a TDA/VTA counter track per sample, viewable
+// at ui.perfetto.dev.
 package main
 
 import (
@@ -30,9 +40,11 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/addr"
+	"repro/internal/cli"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -45,9 +57,58 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the replay (e.g. 1m); 0 = none")
 	selfCheck := flag.Bool("selfcheck", false, "verify DLP invariants after every printed sample")
 	cores := flag.Int("cores", 1, "accepted for CLI uniformity; the single-cache replay is inherently serial")
+	metricsPath := flag.String("metrics", "", "stream the L1D counter registry (JSONL, one row per sample) to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the samples to this file (open in Perfetto)")
 	flag.Parse()
 	if *cores < 1 {
 		log.Fatalf("-cores %d: must be >= 1", *cores)
+	}
+
+	// The observability outputs are opened before the replay so a bad
+	// path fails immediately, and flushed on every exit path.
+	var (
+		mfile *os.File
+		msink *metrics.JSONLSink
+		tfile *os.File
+		tr    *metrics.Trace
+	)
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mfile = f
+		msink = metrics.NewJSONLSink(f)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tfile = f
+		tr = metrics.NewTrace()
+		tr.ProcessName(1, "pdtrace replay")
+		tr.ThreadName(1, 1, "sampling periods")
+	}
+	closeObs := func() {
+		if msink != nil {
+			if err := msink.Flush(); err != nil {
+				log.Print(err)
+			}
+			if err := mfile.Close(); err != nil {
+				log.Print(err)
+			}
+			msink = nil
+		}
+		if tr != nil {
+			if err := tr.WriteJSON(tfile); err != nil {
+				log.Print(err)
+			}
+			if err := tfile.Close(); err != nil {
+				log.Print(err)
+			}
+			tr = nil
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -70,6 +131,17 @@ func main() {
 
 	delivered := 0
 	l1d := core.NewL1D(cfg, config.PolicyDLP, func(*mem.Request) { delivered++ })
+
+	// The metrics series reuses the simulator's registry machinery over
+	// this one standalone cache; the label is the workload abbreviation.
+	var reg *metrics.Registry
+	series := strings.ToUpper(*app)
+	if msink != nil {
+		reg = metrics.NewRegistry()
+		l1d.RegisterMetrics(reg, "l1d")
+		reg.Seal()
+		msink.Begin(series, reg.Names())
+	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 1, ' ', 0)
 	fmt.Fprintf(w, "sample\tTDA hits\tVTA hits\tdecision")
@@ -131,9 +203,18 @@ func main() {
 					if s := pdpt.Samples(); s != lastSample {
 						lastSample = s
 						printSample(w, s, prevTDA, prevVTA, pdpt, pcs)
+						if reg != nil {
+							msink.Row(series, now, reg.Sample())
+						}
+						if tr != nil {
+							tr.Counter("global hits", 1, float64(now), map[string]any{
+								"tda": prevTDA, "vta": prevVTA})
+							tr.Instant(fmt.Sprintf("sample %d", s), "sample", 1, 1, float64(now), nil)
+						}
 						if *selfCheck {
 							if err := l1d.CheckInvariants(); err != nil {
 								w.Flush()
+								closeObs()
 								log.Fatalf("after sample %d: %v", s, err)
 							}
 						}
@@ -148,6 +229,18 @@ func main() {
 		}
 	}
 	w.Flush()
+	if reg != nil {
+		// A closing row captures the counters where the replay stopped,
+		// whether it drained or was cut short.
+		msink.Row(series, now, reg.Sample())
+	}
+	closeObs()
+	// The replay loop exits quietly on cancellation so the partial table
+	// above is still printed; the exit status must not read as success.
+	if err := ctx.Err(); err != nil {
+		log.Print("replay stopped early: ", err)
+		os.Exit(cli.ExitCode(err))
+	}
 	if *selfCheck {
 		if err := l1d.CheckInvariants(); err != nil {
 			log.Fatalf("after replay: %v", err)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/addr"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/rdd"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -81,6 +82,15 @@ type (
 	// Intercept wraps every simulation attempt a Runner makes — the
 	// fault-injection and instrumentation seam (internal/faultinject).
 	Intercept = runner.Intercept
+	// MetricsConfig enables cycle-domain sampling on a single run
+	// (Options.Metrics); MetricsSink receives the sampled rows.
+	MetricsConfig = metrics.Config
+	// MetricsSink receives sampled metric rows (Begin once per series,
+	// then Row per sampling boundary).
+	MetricsSink = metrics.Sink
+	// JobTracer converts runner progress events into a Chrome
+	// trace_event timeline viewable in Perfetto.
+	JobTracer = runner.JobTracer
 )
 
 // Transient marks an error as retryable by the Runner's retry loop;
@@ -96,6 +106,14 @@ const (
 	JobStarted = runner.JobStarted
 	JobDone    = runner.JobDone
 )
+
+// NewMetricsJSONL returns a sink streaming sampled rows as JSON Lines;
+// NewJobTracer builds a Chrome-trace recorder over runner events (pass
+// the shared RunCache, or nil, for the cache-counter track).
+func NewMetricsJSONL(w io.Writer) *metrics.JSONLSink { return metrics.NewJSONLSink(w) }
+
+// NewJobTracer builds a runner-event tracer; see JobTracer.
+func NewJobTracer(cache *RunCache) *JobTracer { return runner.NewJobTracer(cache) }
 
 // NewRunCache returns an empty in-memory result cache; share one across
 // RunSuite / ablation calls so overlapping points simulate only once.

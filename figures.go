@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/metrics"
 	"repro/internal/rdd"
 	"repro/internal/report"
 	"repro/internal/runner"
@@ -100,6 +101,13 @@ type SuiteOptions struct {
 	// Intercept, when non-nil, wraps every simulation attempt — the
 	// fault-injection seam (see internal/faultinject).
 	Intercept runner.Intercept
+	// Metrics, when non-nil, streams cycle-domain counter samples from
+	// every simulated job into the sink, one series per job label (see
+	// runner.Runner.Metrics). Cached jobs emit no rows.
+	Metrics metrics.Sink
+	// MetricsEvery overrides the sampling period in cycles; 0 means
+	// the default (metrics.DefaultEvery).
+	MetricsEvery uint64
 }
 
 // RunSuite simulates every application under every scheme on a parallel
@@ -155,6 +163,9 @@ func RunSuite(ctx context.Context, schemes []Scheme, opts *SuiteOptions) (*Suite
 		SelfCheck: opts.SelfCheck,
 		Cores:     opts.Cores,
 		Intercept: opts.Intercept,
+
+		Metrics:      opts.Metrics,
+		MetricsEvery: opts.MetricsEvery,
 	}
 	results, err := r.Run(ctx, jobs)
 	// In KeepGoing mode a *runner.BatchError still comes with a full

@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -26,6 +27,39 @@ type Result struct {
 	AllocsOp int64   `json:"allocs_op"`
 }
 
+// Host fingerprints the machine class a baseline was measured on.
+// Wall-clock numbers only compare meaningfully within one class;
+// allocs/op are deterministic and compare across any pair of hosts.
+type Host struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GOARCH     string `json:"goarch"`
+}
+
+// CurrentHost fingerprints the running machine.
+func CurrentHost() *Host {
+	return &Host{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0), GOARCH: runtime.GOARCH}
+}
+
+func (h *Host) String() string {
+	if h == nil {
+		return "unrecorded"
+	}
+	return fmt.Sprintf("%d cpus, GOMAXPROCS %d, %s", h.NumCPU, h.GOMAXPROCS, h.GOARCH)
+}
+
+// HostMatches reports whether two fingerprints describe the same
+// machine class. A missing fingerprint on either side — notably
+// baselines recorded before the field existed — never matches: the
+// comparison's validity can't be established, so wall gates must not
+// run on it.
+func HostMatches(a, b *Host) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	return *a == *b
+}
+
 // Baseline is the tracked performance document.
 type Baseline struct {
 	// SuiteWallSeconds is one serial (one-worker) pass over the paper's
@@ -33,6 +67,9 @@ type Baseline struct {
 	// from the BenchmarkSuitePaperWall result.
 	SuiteWallSeconds float64  `json:"suite_wall_seconds"`
 	Benchmarks       []Result `json:"benchmarks"`
+	// Host is the fingerprint of the measuring machine, stamped by
+	// cmd/benchjson; older documents lack it.
+	Host *Host `json:"host,omitempty"`
 }
 
 // benchLine matches e.g.
@@ -129,6 +166,41 @@ func CheckWall(base, fresh *Baseline, maxPct float64) error {
 	if pct := RegressPct(base.SuiteWallSeconds, fresh.SuiteWallSeconds); pct > maxPct {
 		return fmt.Errorf("benchfmt: suite wall time regressed %.1f%% (%.1fs -> %.1fs, limit %.0f%%)",
 			pct, base.SuiteWallSeconds, fresh.SuiteWallSeconds, maxPct)
+	}
+	return nil
+}
+
+// CheckAllocs gates fresh allocs/op against the baseline for every
+// benchmark both documents carry. Allocation counts are deterministic
+// for a given binary, so unlike wall time this gate holds across
+// host-fingerprint mismatches; a 10% allowance absorbs benign noise
+// from rare amortized growth, except that a 0 allocs/op baseline — the
+// whole point of the zero-alloc hot paths — must stay exactly 0.
+//
+// The BenchmarkSuitePaperWall macro-benchmark is exempt: at its single
+// iteration, allocs/op includes whatever once-per-process work (kernel
+// generation and memoization) earlier benchmarks in the same run did
+// or did not already absorb, so the number depends on which benchmarks
+// ran alongside it, not on the code under test. It is gated by
+// CheckWall instead.
+func CheckAllocs(base, fresh *Baseline) error {
+	baseByName := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseByName[r.Name] = r
+	}
+	for _, f := range fresh.Benchmarks {
+		if strings.HasPrefix(f.Name, "BenchmarkSuitePaperWall") {
+			continue
+		}
+		b, ok := baseByName[f.Name]
+		if !ok {
+			continue
+		}
+		limit := b.AllocsOp + b.AllocsOp/10
+		if f.AllocsOp > limit {
+			return fmt.Errorf("benchfmt: %s allocs/op regressed: %d -> %d (limit %d)",
+				f.Name, b.AllocsOp, f.AllocsOp, limit)
+		}
 	}
 	return nil
 }

@@ -80,6 +80,90 @@ func TestRegressPct(t *testing.T) {
 	}
 }
 
+func TestHostFingerprint(t *testing.T) {
+	h := CurrentHost()
+	if h.NumCPU < 1 || h.GOMAXPROCS < 1 || h.GOARCH == "" {
+		t.Fatalf("CurrentHost() = %+v", h)
+	}
+	same := *h
+	if !HostMatches(h, &same) {
+		t.Error("identical fingerprints must match")
+	}
+	other := *h
+	other.NumCPU++
+	if HostMatches(h, &other) {
+		t.Error("differing num_cpu must not match")
+	}
+	// A missing fingerprint on either side — e.g. a baseline recorded
+	// before the field existed — can never be declared comparable.
+	if HostMatches(nil, h) || HostMatches(h, nil) || HostMatches(nil, nil) {
+		t.Error("nil fingerprints must not match")
+	}
+	if (*Host)(nil).String() != "unrecorded" {
+		t.Error("nil Host must print as unrecorded")
+	}
+}
+
+func TestHostSurvivesEncode(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Host != nil {
+		t.Fatal("Parse must not invent a fingerprint; benchjson stamps it")
+	}
+	doc.Host = CurrentHost()
+	raw, err := doc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"num_cpu"`) {
+		t.Fatalf("encoded document missing host envelope:\n%s", raw)
+	}
+	path := t.TempDir() + "/bench.json"
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HostMatches(doc.Host, back.Host) {
+		t.Errorf("fingerprint changed in round trip: %+v vs %+v", doc.Host, back.Host)
+	}
+}
+
+func TestCheckAllocs(t *testing.T) {
+	base := &Baseline{Benchmarks: []Result{
+		{Name: "BenchmarkHot", AllocsOp: 0},
+		{Name: "BenchmarkWarm", AllocsOp: 100},
+	}}
+	ok := &Baseline{Benchmarks: []Result{
+		{Name: "BenchmarkHot", AllocsOp: 0},
+		{Name: "BenchmarkWarm", AllocsOp: 110}, // exactly at the 10% allowance
+		{Name: "BenchmarkNew", AllocsOp: 9999}, // fresh-only: nothing to gate against
+	}}
+	if err := CheckAllocs(base, ok); err != nil {
+		t.Errorf("within-allowance document failed: %v", err)
+	}
+	if err := CheckAllocs(base, &Baseline{Benchmarks: []Result{{Name: "BenchmarkWarm", AllocsOp: 111}}}); err == nil {
+		t.Error("11% alloc regression passed the gate")
+	}
+	// The zero-alloc hot paths are the point: any alloc at all fails.
+	if err := CheckAllocs(base, &Baseline{Benchmarks: []Result{{Name: "BenchmarkHot", AllocsOp: 1}}}); err == nil {
+		t.Error("0 -> 1 allocs/op passed the gate")
+	}
+	// The wall macro-benchmark's allocs/op depends on which benchmarks
+	// ran alongside it (one-time kernel memoization), so it is exempt
+	// here and gated by CheckWall.
+	wall := func(allocs int64) *Baseline {
+		return &Baseline{Benchmarks: []Result{{Name: "BenchmarkSuitePaperWall", AllocsOp: allocs}}}
+	}
+	if err := CheckAllocs(wall(593328), wall(10574257)); err != nil {
+		t.Errorf("SuitePaperWall allocs must be exempt: %v", err)
+	}
+}
+
 func TestCheckWall(t *testing.T) {
 	base := &Baseline{SuiteWallSeconds: 50}
 	if err := CheckWall(base, &Baseline{SuiteWallSeconds: 57}, 15); err != nil {

@@ -1,0 +1,16 @@
+package cache
+
+import "repro/internal/metrics"
+
+// RegisterMetrics registers the MSHR's occupancy gauge under prefix
+// (e.g. "sm3.l1d.mshr"). Registration only hands the registry a
+// closure over an existing accessor; the allocate/merge/release hot
+// path is untouched.
+func (m *MSHR) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.IntGauge(prefix+".entries", m.Size)
+}
+
+// RegisterMetrics registers the queue-depth gauge under prefix.
+func (q *FIFO) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.IntGauge(prefix+".depth", q.Len)
+}

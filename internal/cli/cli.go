@@ -1,0 +1,141 @@
+// Package cli holds behavior shared by the command-line tools: the
+// process exit-code convention and the -metrics/-trace output plumbing.
+//
+// Exit codes:
+//
+//	0    success
+//	1    simulation or tool failure (including partial KeepGoing suites)
+//	130  interrupted (Ctrl-C / SIGINT; 128+2, the shell convention)
+//
+// Interruption is detected through the error chain: a batch stopped by
+// signal.NotifyContext surfaces as a *runner.CancelError (or a bare
+// context error) wrapping context.Canceled.
+package cli
+
+import (
+	"context"
+	"errors"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/runner"
+)
+
+// ExitInterrupted is the exit status after Ctrl-C (128 + SIGINT).
+const ExitInterrupted = 130
+
+// ExitFailure is the exit status for any non-interrupt failure.
+const ExitFailure = 1
+
+// ExitCode maps an error to the process exit status. A nil error is 0;
+// cancellation (a *runner.CancelError or any error wrapping
+// context.Canceled) is ExitInterrupted; everything else — simulation
+// failures, invariant violations, timeouts, partial KeepGoing batches —
+// is ExitFailure.
+func ExitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if errors.Is(err, context.Canceled) {
+		return ExitInterrupted
+	}
+	var ce *runner.CancelError
+	if errors.As(err, &ce) && errors.Is(ce.Err, context.Canceled) {
+		return ExitInterrupted
+	}
+	return ExitFailure
+}
+
+// Observability owns the files behind the -metrics and -trace flags:
+// it opens them up front (so flag typos fail before hours of
+// simulation), hands out the sink and tracer, and flushes both on
+// Close. Either path may be empty; the corresponding accessor then
+// returns nil and the CLI runs exactly as before.
+type Observability struct {
+	metricsFile *os.File
+	sink        *metrics.JSONLSink
+	traceFile   *os.File
+	tracer      *runner.JobTracer
+	closed      bool
+}
+
+// OpenObservability opens the requested output files. cache may be nil;
+// when set, the tracer samples its hit/miss counters into the trace.
+func OpenObservability(metricsPath, tracePath string, cache *runner.Cache) (*Observability, error) {
+	o := &Observability{}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return nil, err
+		}
+		o.metricsFile = f
+		o.sink = metrics.NewJSONLSink(f)
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			if o.metricsFile != nil {
+				o.metricsFile.Close()
+			}
+			return nil, err
+		}
+		o.traceFile = f
+		o.tracer = runner.NewJobTracer(cache)
+	}
+	return o, nil
+}
+
+// Sink returns the metrics sink, or nil when -metrics was not given.
+// The untyped nil matters: assigning a typed nil *JSONLSink into a
+// metrics.Sink interface would read as "enabled" downstream.
+func (o *Observability) Sink() metrics.Sink {
+	if o == nil || o.sink == nil {
+		return nil
+	}
+	return o.sink
+}
+
+// Tracer returns the job tracer, or nil when -trace was not given.
+func (o *Observability) Tracer() *runner.JobTracer {
+	if o == nil {
+		return nil
+	}
+	return o.tracer
+}
+
+// Events wraps next with trace recording when tracing is on; otherwise
+// it returns next unchanged.
+func (o *Observability) Events(next runner.Events) runner.Events {
+	if t := o.Tracer(); t != nil {
+		return t.Wrap(next)
+	}
+	return next
+}
+
+// Close flushes the metrics stream and writes the trace file. It is
+// idempotent, so CLIs can both defer it and call it explicitly before
+// os.Exit (deferred calls never run past os.Exit).
+func (o *Observability) Close() error {
+	if o == nil || o.closed {
+		return nil
+	}
+	o.closed = true
+	var firstErr error
+	if o.sink != nil {
+		if err := o.sink.Flush(); err != nil {
+			firstErr = err
+		}
+		if err := o.metricsFile.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if o.tracer != nil {
+		if err := o.tracer.WriteJSON(o.traceFile); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := o.traceFile.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,121 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/runner"
+)
+
+func TestExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, 0},
+		{"plain failure", errors.New("boom"), ExitFailure},
+		{"wrapped failure", fmt.Errorf("suite: %w", errors.New("boom")), ExitFailure},
+		{"bare canceled", context.Canceled, ExitInterrupted},
+		{"wrapped canceled", fmt.Errorf("aborted: %w", context.Canceled), ExitInterrupted},
+		{"cancel error", &runner.CancelError{Done: 3, Queued: 2, Total: 9, Err: context.Canceled}, ExitInterrupted},
+		{"wrapped cancel error", fmt.Errorf("suite: %w",
+			&runner.CancelError{Done: 0, Queued: 9, Total: 9, Err: context.Canceled}), ExitInterrupted},
+		// A deadline is a failure, not an interrupt: nobody pressed ^C.
+		{"deadline", context.DeadlineExceeded, ExitFailure},
+		{"cancel error deadline", &runner.CancelError{Err: context.DeadlineExceeded}, ExitFailure},
+		{"batch error", &runner.BatchError{Failures: []runner.JobFailure{{Index: 1, Err: errors.New("x")}}, Total: 2}, ExitFailure},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("%s: ExitCode = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestObservabilityLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	mPath := filepath.Join(dir, "m.jsonl")
+	tPath := filepath.Join(dir, "t.json")
+	o, err := OpenObservability(mPath, tPath, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Sink() == nil || o.Tracer() == nil {
+		t.Fatal("sink/tracer must be non-nil when both paths are set")
+	}
+	o.Sink().Begin("s", []string{"a"})
+	o.Sink().Row("s", 64, []uint64{1})
+	ev := o.Events(nil)
+	ev(runner.Event{Kind: runner.JobQueued, Index: 0, Label: "j"})
+	ev(runner.Event{Kind: runner.JobStarted, Index: 0, Label: "j"})
+	ev(runner.Event{Kind: runner.JobDone, Index: 0, Label: "j", Cycles: 42})
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	mf, err := os.Open(mPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	ss, err := metrics.ReadJSONL(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Series["s"].Rows) != 1 {
+		t.Fatalf("rows = %v", ss.Series["s"].Rows)
+	}
+	tf, err := os.Open(tPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	if _, err := metrics.ReadChromeTrace(tf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObservabilityDisabled(t *testing.T) {
+	o, err := OpenObservability("", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Sink() != nil {
+		t.Fatal("Sink() must be untyped nil when -metrics is off")
+	}
+	if o.Tracer() != nil {
+		t.Fatal("Tracer() must be nil when -trace is off")
+	}
+	called := false
+	next := runner.Events(func(runner.Event) { called = true })
+	o.Events(next)(runner.Event{})
+	if !called {
+		t.Fatal("Events must pass through when tracing is off")
+	}
+	if err := o.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A nil *Observability is inert, for error paths before Open.
+	var nilO *Observability
+	if nilO.Sink() != nil || nilO.Tracer() != nil || nilO.Close() != nil {
+		t.Fatal("nil Observability must be inert")
+	}
+}
+
+func TestOpenObservabilityBadPath(t *testing.T) {
+	if _, err := OpenObservability(filepath.Join(t.TempDir(), "no/such/dir/m.jsonl"), "", nil); err == nil {
+		t.Fatal("expected error for unwritable metrics path")
+	}
+	if _, err := OpenObservability("", filepath.Join(t.TempDir(), "no/such/dir/t.json"), nil); err == nil {
+		t.Fatal("expected error for unwritable trace path")
+	}
+}

@@ -1,0 +1,15 @@
+package interconnect
+
+import "repro/internal/metrics"
+
+// RegisterMetrics registers the crossbar's flit counters and the
+// queue levels of both directions under prefix (e.g. "icnt").
+func (n *Network) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.Counter(prefix+".flits", &n.st.ICNTFlits)
+	reg.Counter(prefix+".data_flits", &n.st.ICNTDataFlits)
+	for d, name := range [2]string{ToMem: "to_mem", ToCore: "to_core"} {
+		dir := &n.dirs[d]
+		reg.IntGauge(prefix+"."+name+".waiting", func() int { return len(dir.waiting) })
+		reg.IntGauge(prefix+"."+name+".in_flight", func() int { return len(dir.inFlight) })
+	}
+}

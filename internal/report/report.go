@@ -58,6 +58,10 @@ func cell(format string, v float64) string {
 // counter is zero, making normalization meaningless) and NaN entries
 // (failed jobs in a keep-going run) are skipped rather than poisoning
 // the mean. Note NaN > 0 is false, so the one filter covers both.
+// When no entry survives — every point of the class failed, or the
+// class is absent from an -apps subset — there is no mean to report,
+// and the cell must say so: NaN renders as FAILED, where a silent 0
+// would read as a measured (and alarming) result.
 func (t *Table) groupMean(s Series, class string) float64 {
 	var vals []float64
 	for i, c := range t.Classes {
@@ -66,7 +70,7 @@ func (t *Table) groupMean(s Series, class string) float64 {
 		}
 	}
 	if len(vals) == 0 {
-		return 0
+		return math.NaN()
 	}
 	return stats.GeoMean(vals)
 }

@@ -105,8 +105,47 @@ func TestGroupMeanSkipsNonPositive(t *testing.T) {
 		t.Errorf("groupMean with a zero entry = %v, want 4 (zero skipped)", got)
 	}
 	empty := Series{Values: []float64{0, 0, 0}}
-	if got := tbl.groupMean(empty, "CS"); got != 0 {
-		t.Errorf("groupMean of all-zero series = %v, want 0", got)
+	if got := tbl.groupMean(empty, "CS"); !math.IsNaN(got) {
+		t.Errorf("groupMean of all-zero series = %v, want NaN (renders FAILED)", got)
+	}
+	// A class with no apps at all (e.g. an -apps subset) likewise has no
+	// mean — 0 here would render as a measured result.
+	if got := tbl.groupMean(s, "CI"); !math.IsNaN(got) {
+		t.Errorf("groupMean of absent class = %v, want NaN", got)
+	}
+}
+
+// TestAllFailedColumnRendersFAILED pins the keep-going worst case: a
+// class where every single point failed must render FAILED in both the
+// per-app cells and the geomean columns — never panic, never print NaN
+// or 0.000 — in the text and CSV renderers alike.
+func TestAllFailedColumnRendersFAILED(t *testing.T) {
+	tbl := &Table{
+		Title:   "x",
+		Apps:    []string{"A", "B", "C"},
+		Classes: []string{"CS", "CI", "CI"},
+	}
+	nan := math.NaN()
+	tbl.AddSeries("DLP", []float64{1.5, nan, nan}) // every CI point failed
+
+	var text strings.Builder
+	if err := tbl.Render(&text); err != nil {
+		t.Fatal(err)
+	}
+	var csv strings.Builder
+	if err := tbl.RenderCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]string{"text": text.String(), "csv": csv.String()} {
+		if strings.Contains(got, "NaN") {
+			t.Errorf("%s renderer leaked NaN:\n%s", name, got)
+		}
+		if strings.Count(got, "FAILED") != 3 { // two CI cells + the CI geomean
+			t.Errorf("%s renderer: want 3 FAILED cells:\n%s", name, got)
+		}
+		if !strings.Contains(got, "1.5") {
+			t.Errorf("%s renderer lost the surviving CS cell:\n%s", name, got)
+		}
 	}
 }
 

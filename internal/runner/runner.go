@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -164,6 +165,18 @@ type Runner struct {
 	// the deterministic fault-injection seam; production callers leave
 	// it nil.
 	Intercept Intercept
+
+	// Metrics, when non-nil, enables cycle-domain sampling
+	// (sim.Options.Metrics) on every simulated job in the batch, with
+	// the job's Label as the series name. Jobs that set their own
+	// Opts.Metrics are honored as given. Cached jobs run no simulation
+	// and therefore emit no rows — run with a fresh Cache (or none) to
+	// sample every point. Like SelfCheck, sampling never changes
+	// simulation results and is excluded from cache keys.
+	Metrics metrics.Sink
+	// MetricsEvery overrides the sampling period in cycles for jobs
+	// sampled via Metrics; 0 means the default (metrics.DefaultEvery).
+	MetricsEvery uint64
 }
 
 // Run executes jobs and returns their results in submission order.
@@ -320,6 +333,9 @@ func effectiveCores(requested, workers int) int {
 func (r *Runner) runOne(ctx context.Context, i int, j Job, cores int, emit func(Event)) Result {
 	if j.Opts.Cores == 0 {
 		j.Opts.Cores = cores
+	}
+	if r.Metrics != nil && j.Opts.Metrics == nil {
+		j.Opts.Metrics = &metrics.Config{Sink: r.Metrics, Every: r.MetricsEvery, Label: j.Label}
 	}
 	emit(Event{Kind: JobStarted, Index: i, Label: j.Label})
 	key := ""

@@ -13,6 +13,7 @@ import (
 	"repro/internal/interconnect"
 	"repro/internal/l2"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/sm"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -58,6 +59,20 @@ type Options struct {
 	// surfaces as a typed error — and must not mutate engine state. It
 	// never affects results and is excluded from cache keys.
 	PhaseHook func(worker int, cycle uint64)
+	// Metrics enables cycle-domain observability: every
+	// Metrics.Interval() cycles the engine samples a registry of
+	// counters and gauges registered by its components (L1D, VTA, PDPT,
+	// MSHR queues, L2 partitions, crossbar, SM schedulers) into
+	// Metrics.Sink. Cycles skipped by fast-forward still get their
+	// sampling-boundary rows: a skipped cycle is provably a no-op, so
+	// the engine emits the row with the state at the jump point,
+	// attributed to the boundary cycle. Sampled series are therefore
+	// identical at every Cores value and with fast-forward disabled.
+	// Sampling reads counters the components maintain anyway, never
+	// perturbs simulation state, and a nil Metrics (or nil Sink) costs
+	// one nil check per boundary — so Metrics, like SelfCheck, is
+	// excluded from the runner's cache key.
+	Metrics *metrics.Config
 }
 
 // Float returns a pointer to v, for populating optional Options fields:
@@ -127,6 +142,17 @@ type Engine struct {
 	// executes with more than one shard.
 	pp *phasePool
 
+	// mreg/msink/mevery/mlabel drive the optional cycle-domain metrics
+	// sampling (Options.Metrics); mreg is nil when sampling is off, so
+	// the disabled cost in the run loop is a single nil check. mlast
+	// remembers the last sampled cycle so the end-of-run row is not
+	// duplicated when the drain cycle sits on a sampling boundary.
+	mreg   *metrics.Registry
+	msink  metrics.Sink
+	mevery uint64
+	mlabel string
+	mlast  uint64
+
 	// testHook, when set by a test in this package, observes every
 	// stepped cycle (skipped cycles are not observed — that they carry
 	// no observable work is exactly what the activity property tests
@@ -174,6 +200,9 @@ func New(cfg *config.Config, policy config.Policy, opts Options) (*Engine, error
 		cores = m
 	}
 	e.shards = make([]shardResult, cores)
+	if opts.Metrics.Enabled() {
+		e.registerMetrics(opts.Metrics)
+	}
 	return e, nil
 }
 
@@ -225,6 +254,13 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 		if e.testHook != nil {
 			e.testHook(cycle, active)
 		}
+		// Metrics sampling happens after the cycle's work (and after a
+		// passing self-check) but before the quiescence break, so a
+		// boundary coinciding with the drain cycle is captured here and
+		// suppressed from the end-of-run row below.
+		if e.mreg != nil && cycle%e.mevery == 0 {
+			e.emitSample(cycle)
+		}
 		if cycle%32 == 0 && e.quiescent() {
 			break
 		}
@@ -237,6 +273,18 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 		// have stepped through without touching any state or counter.
 		if !active && !e.disableFastForward {
 			if next, ok := e.nextInterestingCycle(cycle); ok && next > cycle+1 {
+				// Attribute sampling boundaries inside the skipped window
+				// to their boundary cycle before jumping: the machine
+				// state cannot change across the window (each skipped
+				// cycle is a proven no-op), so the rows the unoptimized
+				// loop would have emitted at those boundaries carry
+				// exactly the current values. The boundary at next
+				// itself, if any, is stepped and sampled normally.
+				if e.mreg != nil {
+					for b := cycle - cycle%e.mevery + e.mevery; b < next; b += e.mevery {
+						e.emitSample(b)
+					}
+				}
 				cycle = next - 1
 			}
 		}
@@ -254,6 +302,13 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 		if err := e.selfCheck(k, cycle); err != nil {
 			return nil, err
 		}
+	}
+
+	// One final row at the drain (or timeout-boundary) cycle, so every
+	// series ends with the simulation's closing counter values even when
+	// the run length is not a multiple of the sampling period.
+	if e.mreg != nil && e.mlast != cycle {
+		e.emitSample(cycle)
 	}
 
 	total := e.collect()

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -59,6 +60,63 @@ func TestAddAccumulatesEveryField(t *testing.T) {
 		b.DRAMReads != 32 || b.DRAMWrites != 34 || b.ICNTFlits != 36 ||
 		b.ICNTDataFlits != 38 || b.StoreAccesses != 40 {
 		t.Errorf("Add missed a field: %+v", b)
+	}
+}
+
+// TestAddCoversEveryFieldReflect fills every counter field via
+// reflection, so a counter added to Stats but forgotten in Add fails
+// here without this test needing an update.
+func TestAddCoversEveryFieldReflect(t *testing.T) {
+	a := &Stats{}
+	v := reflect.ValueOf(a).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if f.Kind() != reflect.Uint64 {
+			t.Fatalf("field %s is %s; extend this test (and Add) for non-uint64 counters",
+				v.Type().Field(i).Name, f.Kind())
+		}
+		f.SetUint(uint64(i + 1))
+	}
+	b := &Stats{}
+	b.Add(a)
+	b.Add(a)
+	bv := reflect.ValueOf(b).Elem()
+	for i := 0; i < bv.NumField(); i++ {
+		if got, want := bv.Field(i).Uint(), uint64(2*(i+1)); got != want {
+			t.Errorf("Add dropped field %s: got %d, want %d", bv.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestAddConservationRoundTrip shards a conserving Stats, folds the
+// shards back with Add, and checks the identity the phase-parallel
+// engine relies on: the sum equals the whole, and conservation holds
+// on the sum whenever it holds on every shard.
+func TestAddConservationRoundTrip(t *testing.T) {
+	shards := []*Stats{
+		{L1DAccesses: 10, L1DHits: 4, L1DMisses: 3, L1DBypasses: 3, L1DTraffic: 7, Cycles: 5, Instructions: 9},
+		{L1DAccesses: 6, L1DHits: 6, L1DTraffic: 6, Cycles: 5, Instructions: 2},
+		{}, // an idle shard must be a no-op
+	}
+	sum := &Stats{}
+	for _, sh := range shards {
+		if err := sh.CheckConservation(); err != nil {
+			t.Fatalf("shard invalid before the round-trip: %v", err)
+		}
+		sum.Add(sh.Clone()) // through Clone, as the runner's cache serves results
+	}
+	if err := sum.CheckConservation(); err != nil {
+		t.Errorf("conservation broke across Add: %v", err)
+	}
+	want := Stats{L1DAccesses: 16, L1DHits: 10, L1DMisses: 3, L1DBypasses: 3,
+		L1DTraffic: 13, Cycles: 10, Instructions: 11}
+	if *sum != want {
+		t.Errorf("round-trip sum = %+v, want %+v", *sum, want)
+	}
+	// Mutating the summed result must not reach back into the shards.
+	sum.L1DHits = 999
+	if shards[0].L1DHits != 4 {
+		t.Error("Add aliased a shard")
 	}
 }
 

@@ -1,0 +1,175 @@
+package dlpsim
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The committed paperfigs_output.txt / ablate_output.txt drifted
+// silently once before (stale geomean cells after a renderer change).
+// These tests re-render both documents from scratch and diff them
+// byte-for-byte against the committed files, so neither a renderer nor
+// a simulator change can ship without regenerating them (make figures).
+// Skipped under -short like every other full-suite test.
+
+var (
+	assocOnce sync.Once
+	assocRes  *SuiteResult
+	assocErr  error
+)
+
+// assocSuite runs the Fig. 5 associativity suite once per test binary,
+// mirroring paperSuite.
+func assocSuite(t testing.TB) *SuiteResult {
+	if tt, ok := t.(*testing.T); ok && testing.Short() {
+		tt.Skip("full associativity suite skipped in -short mode")
+	}
+	assocOnce.Do(func() {
+		assocRes, assocErr = RunSuite(context.Background(), AssocSchemes(), nil)
+	})
+	if assocErr != nil {
+		t.Fatalf("assoc suite failed: %v", assocErr)
+	}
+	return assocRes
+}
+
+// diffAgainstFile fails with the first differing line, which localizes
+// a drift far better than a byte-offset mismatch in a 128-line diff.
+func diffAgainstFile(t *testing.T, got, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := string(raw)
+	if got == want {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		g, w := "<missing>", "<missing>"
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("%s drifted at line %d:\n  committed: %q\n  rendered:  %q\n"+
+				"regenerate with `make figures` if the change is intentional", path, i+1, w, g)
+		}
+	}
+	t.Fatalf("%s drifted (content equal per line but bytes differ — check trailing newlines)", path)
+}
+
+// TestPaperfigsOutputCommitted re-renders exactly what `paperfigs`
+// prints to stdout — every table, in command order — and diffs it
+// against the committed reference.
+func TestPaperfigsOutputCommitted(t *testing.T) {
+	eval := paperSuite(t)  // Figs. 10-13 + speedups
+	assoc := assocSuite(t) // Fig. 5
+
+	var b strings.Builder
+	render := func(f func(w io.Writer) error) {
+		if err := f(&b); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintln(&b)
+	}
+	renderTable := func(tbl *Table, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		render(tbl.Render)
+	}
+
+	fmt.Fprintln(&b, Table2())
+	fmt.Fprintln(&b, OverheadReport(BaselineConfig()))
+	render(Fig3RDD().Render)
+	renderTable(Fig4MissRates())
+	renderTable(Fig6Ratios())
+	render(Fig7BFS().Render)
+	renderTable(assoc.Fig5IPC())
+	renderTable(eval.Fig10IPC())
+	renderTable(eval.Fig11aTraffic())
+	renderTable(eval.Fig11bEvictions())
+	renderTable(eval.Fig12aHitRate())
+	renderTable(eval.Fig12bHits())
+	renderTable(eval.Fig13ICNT())
+
+	sp, err := eval.Speedups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&b, "== headline speedups (CI geometric mean vs baseline) ==")
+	for _, sc := range PaperSchemes() {
+		fmt.Fprintf(&b, "%-18s CI x%.3f   CS x%.3f\n", sc.Name, sp[sc.Name]["CI"], sp[sc.Name]["CS"])
+	}
+
+	diffAgainstFile(t, b.String(), "paperfigs_output.txt")
+}
+
+// TestAblateOutputCommitted re-renders what `ablate` (all sweeps)
+// prints to stdout and diffs it against the committed reference.
+func TestAblateOutputCommitted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweeps skipped in -short mode")
+	}
+	ctx := context.Background()
+	apps := DefaultAblationApps()
+	// One runner, one cache — the same sharing the command uses, so the
+	// per-app baselines simulate once across all four sweeps.
+	r := &Runner{Cache: NewRunCache()}
+	var b strings.Builder
+	for _, sweep := range []func(context.Context, []string, *Runner) (*Ablation, error){
+		AblateSamplePeriod, AblatePDBits, AblateVTAWays, AblateWarpLimit,
+	} {
+		ab, err := sweep(ctx, apps, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintln(&b, ab.Render())
+	}
+	diffAgainstFile(t, b.String(), "ablate_output.txt")
+}
+
+// TestInterruptExitCode pins the Ctrl-C contract end to end: a real
+// SIGINT delivered to a running dlpsim must exit 130 — distinct from
+// both success and the generic failure exit 1 — so scripts can tell an
+// interrupted run from a broken one.
+func TestInterruptExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "dlpsim")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/dlpsim").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	// MM simulates for multiple seconds, so an interrupt one second in
+	// lands mid-run with wide margin on both sides.
+	cmd := exec.Command(bin, "-app", "MM", "-policy", "baseline")
+	cmd.Stdout, cmd.Stderr = io.Discard, io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(1 * time.Second)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("dlpsim exited cleanly despite SIGINT (err=%v)", err)
+	}
+	if code := ee.ExitCode(); code != 130 {
+		t.Fatalf("interrupted dlpsim exited %d, want 130", code)
+	}
+}
