@@ -22,7 +22,7 @@ import (
 // AblationPoint is one parameter setting's outcome.
 type AblationPoint struct {
 	Value    int                // the swept parameter's value
-	Speedups map[string]float64 // app -> DLP IPC / baseline IPC
+	Speedups map[string]float64 // app -> swept-policy IPC / baseline IPC
 	GeoMean  float64
 }
 
@@ -37,12 +37,12 @@ type Ablation struct {
 // protection showcases, one 32KB-favoring app, and one long-RD app.
 func DefaultAblationApps() []string { return []string{"CFD", "PVR", "SRK", "KM"} }
 
-// runAblation sweeps mutate over values for the given apps. All points
-// — the per-app baselines plus every (value, app) DLP run — are
+// runAblation sweeps mutate over values for the given apps under pol.
+// All points — the per-app baselines plus every (value, app) run — are
 // submitted to r as one batch, so the pool overlaps them freely and a
 // shared result cache deduplicates the baselines across sweeps. A nil
 // runner gets the defaults (GOMAXPROCS workers, no cache).
-func runAblation(ctx context.Context, name string, apps []string, values []int,
+func runAblation(ctx context.Context, name string, pol Policy, apps []string, values []int,
 	mutate func(cfg *config.Config, v int), r *runner.Runner) (*Ablation, error) {
 	if r == nil {
 		r = &runner.Runner{}
@@ -61,7 +61,7 @@ func runAblation(ctx context.Context, name string, apps []string, values []int,
 	}
 
 	// Baselines are measured once with the untouched configuration: the
-	// swept parameters only exist inside the DLP hardware, so the
+	// swept parameters only exist inside the policy hardware, so the
 	// baseline cache is unaffected by them.
 	var jobs []runner.Job
 	for i, app := range apps {
@@ -82,7 +82,7 @@ func runAblation(ctx context.Context, name string, apps []string, values []int,
 			jobs = append(jobs, runner.Job{
 				Label:  fmt.Sprintf("%s=%d: %s", name, v, app),
 				Config: cfg,
-				Policy: config.PolicyDLP,
+				Policy: pol,
 				Kernel: kernels[i],
 			})
 		}
@@ -128,14 +128,14 @@ func runAblation(ctx context.Context, name string, apps []string, values []int,
 // AblateSamplePeriod sweeps the sampling period (§4.1.4; paper: 200
 // cache accesses).
 func AblateSamplePeriod(ctx context.Context, apps []string, r *Runner) (*Ablation, error) {
-	return runAblation(ctx, "sample-period", apps, []int{50, 100, 200, 400, 800},
+	return runAblation(ctx, "sample-period", DLP, apps, []int{50, 100, 200, 400, 800},
 		func(cfg *config.Config, v int) { cfg.SampleAccesses = v }, r)
 }
 
 // AblatePDBits sweeps the protection-distance field width (§4.3; paper:
 // 4 bits, i.e. a maximum protected life of 15 set queries).
 func AblatePDBits(ctx context.Context, apps []string, r *Runner) (*Ablation, error) {
-	return runAblation(ctx, "pd-bits", apps, []int{2, 3, 4, 5, 6},
+	return runAblation(ctx, "pd-bits", DLP, apps, []int{2, 3, 4, 5, 6},
 		func(cfg *config.Config, v int) { cfg.PDBits = v }, r)
 }
 
@@ -143,7 +143,7 @@ func AblatePDBits(ctx context.Context, apps []string, r *Runner) (*Ablation, err
 // paper: equal to the cache's 4 ways). Nasc scales with it, so this
 // changes both the observation window and the PD increments.
 func AblateVTAWays(ctx context.Context, apps []string, r *Runner) (*Ablation, error) {
-	return runAblation(ctx, "vta-ways", apps, []int{2, 4, 8, 16},
+	return runAblation(ctx, "vta-ways", DLP, apps, []int{2, 4, 8, 16},
 		func(cfg *config.Config, v int) { cfg.VTAWays = v }, r)
 }
 
@@ -151,8 +151,31 @@ func AblateVTAWays(ctx context.Context, apps []string, r *Runner) (*Ablation, er
 // of DLP — the combination the paper's related work points at (Chen et
 // al. [6] integrate PDP with CCWS). Zero means unthrottled.
 func AblateWarpLimit(ctx context.Context, apps []string, r *Runner) (*Ablation, error) {
-	return runAblation(ctx, "warp-limit", apps, []int{0, 8, 16, 24, 32},
+	return runAblation(ctx, "warp-limit", DLP, apps, []int{0, 8, 16, 24, 32},
 		func(cfg *config.Config, v int) { cfg.MaxActiveWarps = v }, r)
+}
+
+// AblateATAWays sweeps the aggregated tag array's associativity under
+// the ATA policy (arXiv:2302.10638 sizes the tag store several times
+// the data store; the paper's default here is 16 ways over a 4-way
+// cache).
+func AblateATAWays(ctx context.Context, apps []string, r *Runner) (*Ablation, error) {
+	return runAblation(ctx, "ata-ways", ATA, apps, []int{4, 8, 16, 32},
+		func(cfg *config.Config, v int) { cfg.ATAWays = v }, r)
+}
+
+// AblateCCWSLifetime sweeps CCWS-lite's protection lifetime in the
+// accesses encoding (set queries a re-fetched line stays protected).
+func AblateCCWSLifetime(ctx context.Context, apps []string, r *Runner) (*Ablation, error) {
+	return runAblation(ctx, "ccws-lifetime", CCWSLite, apps, []int{2, 4, 8, 16, 32},
+		func(cfg *config.Config, v int) { cfg.CCWSProtectAccesses = v }, r)
+}
+
+// AblatePredictorDeadPeriods sweeps how many reuse-free sampling periods
+// the reuse predictor tolerates before declaring an instruction dead.
+func AblatePredictorDeadPeriods(ctx context.Context, apps []string, r *Runner) (*Ablation, error) {
+	return runAblation(ctx, "pred-dead-periods", ReusePredictor, apps, []int{1, 2, 3, 4, 6},
+		func(cfg *config.Config, v int) { cfg.PredictorDeadPeriods = v }, r)
 }
 
 // Render formats the ablation as an aligned table. NaN cells — points

@@ -3,6 +3,12 @@
 // (4 bits, §4.3), and the VTA associativity (= cache ways, footnote 2) —
 // and reports DLP's IPC speedup over the baseline cache at each setting.
 //
+// The non-paper policies have their own opt-in sweeps (never part of
+// "all", so the committed reference output is unchanged): ata-ways
+// (aggregated-tag associativity under ATA), ccws-lifetime (CCWS-lite
+// protection lifetime in accesses), and pred-dead-periods (reuse
+// predictor dead threshold).
+//
 // Sweeps execute on a parallel worker pool with a shared result cache,
 // so the per-app baseline runs — identical in every sweep — simulate
 // only once per invocation. Ctrl-C cancels in-flight runs promptly.
@@ -109,7 +115,7 @@ func fatal(err error) {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ablate: ")
-	sweep := flag.String("sweep", "all", "sample-period | pd-bits | vta-ways | warp-limit | all")
+	sweep := flag.String("sweep", "all", "sample-period | pd-bits | vta-ways | warp-limit | all (paper sweeps) | ata-ways | ccws-lifetime | pred-dead-periods (opt-in)")
 	appsFlag := flag.String("apps", strings.Join(dlpsim.DefaultAblationApps(), ","),
 		"comma-separated application abbreviations")
 	workers := flag.Int("j", 0, "simulation worker-pool size (0 = GOMAXPROCS)")
@@ -176,11 +182,25 @@ func main() {
 		"pd-bits":       dlpsim.AblatePDBits,
 		"vta-ways":      dlpsim.AblateVTAWays,
 		"warp-limit":    dlpsim.AblateWarpLimit,
+		// Non-paper policy sweeps, reachable by name only: "all" stays
+		// the paper set so the committed reference output never drifts.
+		"ata-ways":          dlpsim.AblateATAWays,
+		"ccws-lifetime":     dlpsim.AblateCCWSLifetime,
+		"pred-dead-periods": dlpsim.AblatePredictorDeadPeriods,
 	}
-	order := []string{"sample-period", "pd-bits", "vta-ways", "warp-limit"}
+	paper := []string{"sample-period", "pd-bits", "vta-ways", "warp-limit"}
+	order := append(append([]string{}, paper...), "ata-ways", "ccws-lifetime", "pred-dead-periods")
+	inPaper := map[string]bool{}
+	for _, name := range paper {
+		inPaper[name] = true
+	}
 	ran, partial := false, false
 	for _, name := range order {
-		if *sweep != "all" && *sweep != name {
+		if *sweep == "all" {
+			if !inPaper[name] {
+				continue
+			}
+		} else if *sweep != name {
 			continue
 		}
 		ab, err := sweeps[name](ctx, apps, r)

@@ -39,6 +39,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/config"
+	"repro/internal/policy"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -50,7 +51,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("dlpsim: ")
 	app := flag.String("app", "CFD", "application abbreviation (see -list)")
-	policy := flag.String("policy", "dlp", "baseline | stall-bypass | global-protection | dlp")
+	policyName := flag.String("policy", "dlp", policy.Usage())
 	sizeKB := flag.Int("size", 16, "L1D capacity in KB (16, 32 or 64)")
 	list := flag.Bool("list", false, "list available applications")
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
@@ -82,7 +83,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pol, err := parsePolicy(*policy)
+	pol, err := policy.Parse(*policyName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -175,19 +176,4 @@ func main() {
 	}
 	fmt.Printf("%s (%s, %s) on %s under %s\n", kernel.Name, name, class, cfg.Name, pol)
 	fmt.Println(st)
-}
-
-func parsePolicy(s string) (config.Policy, error) {
-	switch strings.ToLower(s) {
-	case "baseline", "base":
-		return config.PolicyBaseline, nil
-	case "stall-bypass", "sb":
-		return config.PolicyStallBypass, nil
-	case "global-protection", "gp":
-		return config.PolicyGlobalProtection, nil
-	case "dlp":
-		return config.PolicyDLP, nil
-	default:
-		return 0, fmt.Errorf("unknown policy %q", s)
-	}
 }

@@ -1,0 +1,86 @@
+package dlpsim
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/trace"
+)
+
+// diffKernel is a small hand-built kernel that exercises every policy
+// decision point: each warp interleaves a hot line (short reuse
+// distance — protection-worthy) with a private stream (no reuse —
+// bypass-worthy), stores ride along to drive the write-evict path, and
+// a line shared by all warps forces MSHR merges. Small enough for
+// `go test -race -short`, rich enough that the seven policies produce
+// genuinely different cache behavior.
+func diffKernel() *trace.Kernel {
+	k := &trace.Kernel{Name: "xpolicy-diff"}
+	shared := addr.Addr(1 << 22)
+	for b := 0; b < 2; b++ {
+		blk := &trace.Block{}
+		for w := 0; w < 4; w++ {
+			wt := &trace.WarpTrace{}
+			hot := addr.Addr((b*4 + w) * 128)
+			streamBase := addr.Addr(1<<16 + (b*4+w)<<13)
+			for i := 0; i < 24; i++ {
+				stream := streamBase + addr.Addr(i*128)
+				wt.Instrs = append(wt.Instrs,
+					trace.NewLoad(0, []addr.Addr{hot}),
+					trace.NewLoad(1, []addr.Addr{stream}),
+					trace.NewCompute(2, 4, 32),
+				)
+				switch i % 8 {
+				case 3:
+					wt.Instrs = append(wt.Instrs, trace.NewStore(3, []addr.Addr{stream}))
+				case 6:
+					wt.Instrs = append(wt.Instrs, trace.NewLoad(4, []addr.Addr{shared}))
+				}
+			}
+			blk.Warps = append(blk.Warps, wt)
+		}
+		k.Blocks = append(k.Blocks, blk)
+	}
+	return k
+}
+
+// TestCrossPolicyDifferential runs every registered policy on the same
+// kernel twice — serially, and with two phase shards plus the sampled
+// invariant sweeps — and requires bit-identical statistics. Under
+// `-race` (the CI differential job) this also drives each policy's
+// hooks through the phase-parallel engine's concurrency. A final check
+// confirms the policies actually diverge from the baseline, so a
+// registry mis-wiring that silently ran everything as Baseline would
+// not pass as seven vacuous equalities.
+func TestCrossPolicyDifferential(t *testing.T) {
+	cfg := BaselineConfig()
+	k := diffKernel()
+	results := make(map[Policy]*Stats)
+	for _, p := range Policies() {
+		serial, err := RunWithOptions(cfg, p, k, Options{SelfCheck: true})
+		if err != nil {
+			t.Fatalf("%v serial: %v", p, err)
+		}
+		sharded, err := RunWithOptions(cfg, p, k, Options{Cores: 2, SelfCheck: true})
+		if err != nil {
+			t.Fatalf("%v cores=2: %v", p, err)
+		}
+		if *serial != *sharded {
+			t.Errorf("%v: serial and cores=2 stats differ\nserial:  %+v\ncores=2: %+v",
+				p, serial, sharded)
+		}
+		if serial.Instructions == 0 || serial.L1DAccesses == 0 {
+			t.Errorf("%v: kernel did no work: %+v", p, serial)
+		}
+		results[p] = serial
+	}
+	diverged := 0
+	for _, p := range Policies() {
+		if p != Baseline && *results[p] != *results[Baseline] {
+			diverged++
+		}
+	}
+	if diverged == 0 {
+		t.Error("no policy diverged from Baseline on a policy-sensitive kernel")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/policy"
 	"repro/internal/rdd"
 	"repro/internal/runner"
 	"repro/internal/sim"
@@ -143,12 +144,16 @@ var (
 	NewCompute = trace.NewCompute
 )
 
-// The four evaluated L1D policies (§5.3).
+// The registered L1D policies: the paper's four evaluated schemes
+// (§5.3) plus the drop-in additions from the wider literature.
 const (
 	Baseline         = config.PolicyBaseline
 	StallBypass      = config.PolicyStallBypass
 	GlobalProtection = config.PolicyGlobalProtection
 	DLP              = config.PolicyDLP
+	ATA              = config.PolicyATA
+	CCWSLite         = config.PolicyCCWS
+	ReusePredictor   = config.PolicyReusePredictor
 )
 
 // BaselineConfig returns the paper's Table 1 configuration (16KB 4-way
@@ -158,8 +163,23 @@ func BaselineConfig() *Config { return config.Baseline() }
 // ConfigForL1D returns the preset for a 16, 32 or 64 KB L1D.
 func ConfigForL1D(kb int) (*Config, error) { return config.ByL1DSize(kb) }
 
-// Policies lists the four schemes in the paper's plotting order.
-func Policies() []Policy { return config.AllPolicies() }
+// Policies lists every registered scheme, the paper's four first (in
+// plotting order) followed by the literature additions.
+func Policies() []Policy { return policy.All() }
+
+// PaperPolicies lists only the paper's four evaluated schemes (§5.3).
+func PaperPolicies() []Policy { return policy.Paper() }
+
+// PolicyUsage describes the accepted -policy spellings for CLI help.
+func PolicyUsage() string { return policy.Usage() }
+
+// PolicyCitation returns the one-line provenance of a registered scheme.
+func PolicyCitation(p Policy) string {
+	if s, ok := policy.Lookup(p); ok {
+		return s.Cite
+	}
+	return ""
+}
 
 // Run executes one kernel on a machine built from cfg under the given
 // policy and returns its counters.
@@ -230,18 +250,12 @@ func WriteKernel(w io.Writer, k *Kernel) error {
 // ReadKernel deserializes a kernel written by WriteKernel.
 func ReadKernel(r io.Reader) (*Kernel, error) { return trace.ReadKernel(r) }
 
-// ParsePolicy converts a CLI-style name into a Policy.
+// ParsePolicy converts a CLI-style name into a Policy. It accepts every
+// registered scheme's name and aliases, case-insensitively.
 func ParsePolicy(s string) (Policy, error) {
-	switch strings.ToLower(s) {
-	case "baseline", "base":
-		return Baseline, nil
-	case "stall-bypass", "sb":
-		return StallBypass, nil
-	case "global-protection", "gp":
-		return GlobalProtection, nil
-	case "dlp":
-		return DLP, nil
-	default:
-		return 0, fmt.Errorf("dlpsim: unknown policy %q (want baseline|stall-bypass|global-protection|dlp)", s)
+	p, err := policy.Parse(s)
+	if err != nil {
+		return "", fmt.Errorf("dlpsim: %w", err)
 	}
+	return p, nil
 }

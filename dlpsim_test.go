@@ -28,6 +28,9 @@ func TestParsePolicy(t *testing.T) {
 		"stall-bypass": StallBypass, "SB": StallBypass,
 		"global-protection": GlobalProtection, "gp": GlobalProtection,
 		"DLP": DLP,
+		"ata": ATA, "ata-cache": ATA,
+		"ccws-lite": CCWSLite, "CCWS": CCWSLite,
+		"reusepredictor": ReusePredictor, "reuse-predictor": ReusePredictor, "pred": ReusePredictor,
 	}
 	for in, want := range cases {
 		got, err := ParsePolicy(in)
@@ -42,13 +45,21 @@ func TestParsePolicy(t *testing.T) {
 
 func TestPoliciesOrder(t *testing.T) {
 	ps := Policies()
-	want := []Policy{Baseline, StallBypass, GlobalProtection, DLP}
+	want := []Policy{Baseline, StallBypass, GlobalProtection, DLP, ATA, CCWSLite, ReusePredictor}
 	if len(ps) != len(want) {
 		t.Fatalf("Policies() = %v", ps)
 	}
 	for i := range want {
 		if ps[i] != want[i] {
 			t.Errorf("Policies()[%d] = %v, want %v", i, ps[i], want[i])
+		}
+	}
+	if got := PaperPolicies(); len(got) != 4 || got[0] != Baseline || got[3] != DLP {
+		t.Errorf("PaperPolicies() = %v, want the paper's four in plotting order", got)
+	}
+	for _, p := range ps {
+		if PolicyCitation(p) == "" {
+			t.Errorf("policy %s has no provenance citation", p)
 		}
 	}
 }

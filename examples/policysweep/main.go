@@ -1,9 +1,12 @@
-// Policysweep: evaluate all four L1D management schemes plus the doubled
-// cache on a set of cache-insufficient applications — a small-scale
-// version of the paper's Figure 10, built on the public experiment
-// runner. All (app, scheme) points are submitted as one batch, execute
-// in parallel, and come back in submission order, so the printed table
-// is identical at every worker count.
+// Policysweep: evaluate every registered L1D management scheme plus the
+// doubled cache on a set of cache-insufficient applications — a
+// small-scale version of the paper's Figure 10 extended with the
+// literature schemes, built on the public experiment runner. The scheme
+// columns come from the policy registry, so a newly registered policy
+// shows up here with no code change. All (app, scheme) points are
+// submitted as one batch, execute in parallel, and come back in
+// submission order, so the printed table is identical at every worker
+// count.
 package main
 
 import (
@@ -17,7 +20,8 @@ import (
 func main() {
 	log.SetFlags(0)
 	apps := []string{"CFD", "PVR", "SS", "SRK", "KM"}
-	schemes := dlpsim.PaperSchemes() // Baseline, SB, GP, DLP at 16KB + 32KB
+	// Every registered policy at 16KB, plus the doubled-capacity baseline.
+	schemes := append(dlpsim.PolicySchemes(), dlpsim.Scheme{Name: "32KB", Policy: dlpsim.Baseline, L1DKB: 32})
 
 	var jobs []dlpsim.Job
 	for _, app := range apps {
@@ -25,7 +29,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		k := spec.Generate() // one kernel shared by all five schemes
+		k := spec.Generate() // one kernel shared by every scheme
 		for _, sc := range schemes {
 			cfg, err := dlpsim.ConfigForL1D(sc.L1DKB)
 			if err != nil {
@@ -45,17 +49,19 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%-6s %10s %14s %18s %8s %8s\n",
-		"app", "Baseline", "Stall-Bypass", "Global-Protection", "DLP", "32KB")
+	fmt.Printf("%-6s", "app")
+	for _, sc := range schemes {
+		fmt.Printf(" %18s", sc.Name)
+	}
+	fmt.Println()
 	for i, app := range apps {
 		row := results[i*len(schemes) : (i+1)*len(schemes)]
 		base := row[0].Stats.IPC()
-		fmt.Printf("%-6s %10.2f %14.2f %18.2f %8.2f %8.2f\n", app,
-			1.0,
-			row[1].Stats.IPC()/base,
-			row[2].Stats.IPC()/base,
-			row[3].Stats.IPC()/base,
-			row[4].Stats.IPC()/base)
+		fmt.Printf("%-6s", app)
+		for _, res := range row {
+			fmt.Printf(" %18.2f", res.Stats.IPC()/base)
+		}
+		fmt.Println()
 	}
 	fmt.Println("\nvalues are IPC normalized to the 16KB baseline (Fig. 10 style)")
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/metrics"
+	"repro/internal/policy"
 	"repro/internal/rdd"
 	"repro/internal/report"
 	"repro/internal/runner"
@@ -33,15 +34,30 @@ type Scheme struct {
 }
 
 // PaperSchemes are the five configurations of Figure 10, in plotting
-// order.
+// order: the registry's paper subset at 16KB plus the doubled-capacity
+// baseline.
 func PaperSchemes() []Scheme {
-	return []Scheme{
-		{"16KB(Baseline)", Baseline, 16},
-		{"Stall-Bypass", StallBypass, 16},
-		{"Global-Protection", GlobalProtection, 16},
-		{"DLP", DLP, 16},
-		{"32KB", Baseline, 32},
+	out := make([]Scheme, 0, 5)
+	for _, p := range policy.Paper() {
+		name := p.String()
+		if p == Baseline {
+			name = "16KB(Baseline)"
+		}
+		out = append(out, Scheme{name, p, 16})
 	}
+	return append(out, Scheme{"32KB", Baseline, 32})
+}
+
+// PolicySchemes are every registered policy at the paper's 16KB L1D —
+// the paper's four schemes followed by the literature additions — for
+// cross-policy comparison tables (paperfigs -exp policies).
+func PolicySchemes() []Scheme {
+	all := policy.All()
+	out := make([]Scheme, len(all))
+	for i, p := range all {
+		out[i] = Scheme{p.String(), p, 16}
+	}
+	return out
 }
 
 // AssocSchemes are the three cache sizes of Figures 4 and 5.

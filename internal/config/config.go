@@ -9,42 +9,38 @@ package config
 
 import "fmt"
 
-// Policy names the L1D management scheme under evaluation (§5.3).
-type Policy int
+// Policy names the L1D management scheme under evaluation. The value is
+// the display name used in the paper's figures; the set of valid values
+// is defined by the internal/policy registry rather than a closed enum,
+// so new schemes register themselves without touching this package.
+type Policy string
 
 const (
 	// PolicyBaseline is stall-and-retry LRU, the unmodified L1D.
-	PolicyBaseline Policy = iota
+	PolicyBaseline Policy = "Baseline"
 	// PolicyStallBypass bypasses the L1D whenever the access would stall.
-	PolicyStallBypass
+	PolicyStallBypass Policy = "Stall-Bypass"
 	// PolicyGlobalProtection applies one protection distance to all lines
 	// (the PDP scheme of Duong et al. adapted to the GPU L1D).
-	PolicyGlobalProtection
+	PolicyGlobalProtection Policy = "Global-Protection"
 	// PolicyDLP is the paper's contribution: per-instruction protection
 	// distances with VTA-informed prediction and protected-set bypassing.
-	PolicyDLP
+	PolicyDLP Policy = "DLP"
+	// PolicyATA admits only lines with demonstrated reuse in an
+	// aggregated tag array, bypassing every first touch (after the
+	// ATA-Cache shared-L1 contention-mitigation scheme).
+	PolicyATA Policy = "ATA"
+	// PolicyCCWS protects lines whose victim-tag-array entry shows lost
+	// intra-warp locality, with a cycles-vs-accesses lifetime toggle
+	// (a cache-side rendition of the CCWS locality detector).
+	PolicyCCWS Policy = "CCWS-lite"
+	// PolicyReusePredictor predicts per-instruction line deadness online
+	// from the VTA/TDA reuse signals and bypasses predicted-dead fills.
+	PolicyReusePredictor Policy = "ReusePredictor"
 )
 
 // String returns the name used in the paper's figures.
-func (p Policy) String() string {
-	switch p {
-	case PolicyBaseline:
-		return "Baseline"
-	case PolicyStallBypass:
-		return "Stall-Bypass"
-	case PolicyGlobalProtection:
-		return "Global-Protection"
-	case PolicyDLP:
-		return "DLP"
-	default:
-		return fmt.Sprintf("Policy(%d)", int(p))
-	}
-}
-
-// AllPolicies lists the four schemes in the order the paper plots them.
-func AllPolicies() []Policy {
-	return []Policy{PolicyBaseline, PolicyStallBypass, PolicyGlobalProtection, PolicyDLP}
-}
+func (p Policy) String() string { return string(p) }
 
 // SchedPolicy selects the warp scheduling algorithm.
 type SchedPolicy int
@@ -136,6 +132,13 @@ type Config struct {
 	PDBits         int // width of the PD / protected-life field
 	SampleAccesses int // cache accesses per sampling period (paper: 200)
 	SampleInsnCap  int // instruction-count cap that force-closes a sample
+
+	// Extension-scheme parameters (see internal/policy for the schemes).
+	ATAWays              int  // ATA: aggregated tag array associativity per set
+	CCWSByCycles         bool // CCWS-lite: protect by cycle deadline instead of access count
+	CCWSProtectCycles    int  // CCWS-lite: protection lifetime in cycles (cycles mode)
+	CCWSProtectAccesses  int  // CCWS-lite: protection lifetime in set queries (accesses mode)
+	PredictorDeadPeriods int  // ReusePredictor: reuse-free periods before an insn is dead
 }
 
 // MaxPD returns the saturation value of the PD/PL field.
@@ -169,6 +172,10 @@ func (c *Config) Validate() error {
 		{c.PDBits > 0 && c.PDBits <= 16, "PDBits must be in 1..16"},
 		{c.SampleAccesses > 0, "SampleAccesses must be positive"},
 		{c.SampleInsnCap > 0, "SampleInsnCap must be positive"},
+		{c.ATAWays > 0, "ATAWays must be positive"},
+		{c.CCWSProtectCycles > 0, "CCWSProtectCycles must be positive"},
+		{c.CCWSProtectAccesses > 0, "CCWSProtectAccesses must be positive"},
+		{c.PredictorDeadPeriods > 0, "PredictorDeadPeriods must be positive"},
 		{c.ICNTBandwidthFlits > 0, "ICNTBandwidthFlits must be positive"},
 		{c.ICNTFlitBytes > 0, "ICNTFlitBytes must be positive"},
 	}
@@ -218,6 +225,11 @@ func Baseline() *Config {
 		PDBits:         4,
 		SampleAccesses: 200,
 		SampleInsnCap:  20000,
+
+		ATAWays:              16,
+		CCWSProtectCycles:    2000,
+		CCWSProtectAccesses:  8,
+		PredictorDeadPeriods: 2,
 	}
 }
 

@@ -1,0 +1,20 @@
+package core
+
+import "repro/internal/policy"
+
+// The DLP hardware types (victim tag array, prediction table, sampling
+// clock) moved to internal/policy with the pluggable-policy refactor.
+// These aliases keep core's historical surface — tools and tests that
+// reach the hardware through core keep compiling unchanged.
+type (
+	VTA     = policy.VTA
+	PDPT    = policy.PDPT
+	Sampler = policy.Sampler
+)
+
+var (
+	NewVTA       = policy.NewVTA
+	NewPDPT      = policy.NewPDPT
+	NewGlobalPDT = policy.NewGlobalPDT
+	NewSampler   = policy.NewSampler
+)

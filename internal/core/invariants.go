@@ -1,81 +1,27 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/config"
+	"repro/internal/policy"
 )
 
-// InvariantError reports a violated DLP invariant found by a self-check
-// (sim.Options.SelfCheck) or an explicit CheckInvariants call. These
-// are the structural properties the paper's correctness rests on — PL
-// counters staying within their field width, protection never exceeding
-// the set's associativity, PDPT predictions staying within the PD
-// field, the VTA keeping the TDA's geometry — plus the stats
-// conservation identity. A violation means the engine (or a future
-// modification of it) is broken, not that a workload misbehaved, so it
-// is surfaced as a typed error rather than a panic: one bad engine
-// build fails its job cleanly instead of tearing down a whole batch.
-type InvariantError struct {
-	Component string // "TDA", "PDPT", "VTA", "stats"
-	Check     string // short invariant identifier, e.g. "pl-range"
-	Detail    string
-}
+// InvariantError reports a violated engine invariant found by a
+// self-check (sim.Options.SelfCheck) or an explicit CheckInvariants
+// call. The type itself lives in internal/policy, next to the checks;
+// this alias preserves core's public surface.
+type InvariantError = policy.InvariantError
 
-func (e *InvariantError) Error() string {
-	return fmt.Sprintf("core: invariant %s/%s violated: %s", e.Component, e.Check, e.Detail)
-}
-
-// CheckInvariants verifies the cache's DLP invariants at the current
-// cycle. It is cheap relative to a simulated cycle but not free — the
-// engine samples it (sim.Options.SelfCheck) rather than calling it
-// every cycle. The check never mutates state, so enabling it cannot
-// change simulation results.
+// CheckInvariants verifies the cache's invariants at the current cycle:
+// the policy's structural properties (PL counters within their field
+// width, protection bounded by associativity, PDPT predictions within
+// the PD field, VTA geometry — whatever the active scheme maintains)
+// plus the stats conservation identity. It is cheap relative to a
+// simulated cycle but not free — the engine samples it
+// (sim.Options.SelfCheck) rather than calling it every cycle. The check
+// never mutates state, so enabling it cannot change simulation results.
 func (c *L1D) CheckInvariants() error {
-	maxPD := c.cfg.MaxPD()
-	protection := c.protectionEnabled()
-	for s := 0; s < c.ta.NumSets(); s++ {
-		protected := 0
-		for w := range c.ta.Set(s) {
-			ln := &c.ta.Set(s)[w]
-			if ln.PL < 0 || ln.PL > maxPD {
-				return &InvariantError{
-					Component: "TDA",
-					Check:     "pl-range",
-					Detail: fmt.Sprintf("set %d way %d: PL=%d outside [0,%d] (PDBits=%d)",
-						s, w, ln.PL, maxPD, c.cfg.PDBits),
-				}
-			}
-			if ln.PL > 0 {
-				if !protection {
-					return &InvariantError{
-						Component: "TDA",
-						Check:     "pl-without-protection",
-						Detail: fmt.Sprintf("set %d way %d: PL=%d under policy %s, which has no protection hardware",
-							s, w, ln.PL, c.policy),
-					}
-				}
-				protected++
-			}
-		}
-		if protected > c.cfg.L1D.Ways {
-			return &InvariantError{
-				Component: "TDA",
-				Check:     "protected-bound",
-				Detail: fmt.Sprintf("set %d: %d protected lines exceed associativity %d",
-					s, protected, c.cfg.L1D.Ways),
-			}
-		}
-	}
-	if c.pdpt != nil {
-		if err := c.pdpt.CheckInvariants(); err != nil {
-			return err
-		}
-	}
-	if c.vta != nil {
-		if err := c.vta.CheckGeometry(c.cfg.L1D.Sets, c.cfg.VTAWays); err != nil {
-			return err
-		}
+	if err := c.pol.CheckInvariants(); err != nil {
+		return err
 	}
 	// Mid-run conservation: every counted access has been classified as
 	// exactly one of hit / serviced miss / bypass. Each Access call
@@ -83,65 +29,6 @@ func (c *L1D) CheckInvariants() error {
 	// every cycle boundary, not just at collection time.
 	if err := c.st.CheckConservation(); err != nil {
 		return &InvariantError{Component: "stats", Check: "conservation", Detail: err.Error()}
-	}
-	return nil
-}
-
-// CheckInvariants verifies the prediction table's bounds: every
-// protection distance within [0, maxPD] (the PD field's width, §4.3)
-// and hit counters consistent with the running global totals.
-func (p *PDPT) CheckInvariants() error {
-	var tda, vta uint64
-	for i, pd := range p.pd {
-		if pd < 0 || pd > p.maxPD {
-			return &InvariantError{
-				Component: "PDPT",
-				Check:     "pd-range",
-				Detail:    fmt.Sprintf("entry %d: PD=%d outside [0,%d]", i, pd, p.maxPD),
-			}
-		}
-		tda += p.tdaHits[i]
-		vta += p.vtaHits[i]
-	}
-	if tda != p.globalTDA || vta != p.globalVTA {
-		return &InvariantError{
-			Component: "PDPT",
-			Check:     "hit-counter-sum",
-			Detail: fmt.Sprintf("per-entry sums (TDA=%d, VTA=%d) disagree with global counters (TDA=%d, VTA=%d)",
-				tda, vta, p.globalTDA, p.globalVTA),
-		}
-	}
-	return nil
-}
-
-// CheckGeometry verifies the VTA mirrors the TDA's set structure with
-// the configured associativity (footnote 2: same geometry, tags only).
-func (v *VTA) CheckGeometry(wantSets, wantWays int) error {
-	if len(v.sets) != wantSets {
-		return &InvariantError{
-			Component: "VTA",
-			Check:     "geometry",
-			Detail:    fmt.Sprintf("%d sets, want %d", len(v.sets), wantSets),
-		}
-	}
-	for s, set := range v.sets {
-		if len(set) != wantWays {
-			return &InvariantError{
-				Component: "VTA",
-				Check:     "geometry",
-				Detail:    fmt.Sprintf("set %d has %d ways, want %d", s, len(set), wantWays),
-			}
-		}
-		for w := range set {
-			if e := &set[w]; e.valid && e.lastUse > v.clock {
-				return &InvariantError{
-					Component: "VTA",
-					Check:     "lru-clock",
-					Detail: fmt.Sprintf("set %d way %d: lastUse %d ahead of clock %d",
-						s, w, e.lastUse, v.clock),
-				}
-			}
-		}
 	}
 	return nil
 }

@@ -1,3 +1,11 @@
+// Package core implements the simulated L1 data cache controller: the
+// tag array mechanism (probe, reserve, fill), MSHRs, miss and bypass
+// queues, hit-latency modelling and statistics. Every management
+// decision — stall vs bypass, victim eligibility, admission, protection
+// state — is delegated to a scheme from internal/policy, where the
+// paper's DLP hardware (VTA, PDPT, Figure 9 computation) now lives as
+// one registry entry among several. The §4.3 hardware-overhead model is
+// also here.
 package core
 
 import (
@@ -7,11 +15,12 @@ import (
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/mem"
+	"repro/internal/policy"
 	"repro/internal/stats"
 )
 
-// L1D is one SM's L1 data cache, running under one of the four evaluated
-// policies. The SM's LD/ST unit calls Access; the engine drains outgoing
+// L1D is one SM's L1 data cache, running under a registered management
+// policy. The SM's LD/ST unit calls Access; the engine drains outgoing
 // fetches with PopOutgoing and delivers network responses with OnResponse.
 // Completed loads are handed back to the SM through the deliver callback.
 type L1D struct {
@@ -23,9 +32,8 @@ type L1D struct {
 	missQ  *cache.FIFO // fetches for misses that reserved a line
 	bypsQ  *cache.FIFO // bypassed fetches and write-through stores (never stalls)
 
-	vta     *VTA
-	pdpt    *PDPT
-	sampler *Sampler
+	pol      policy.Policy           // the decision maker
+	eligible func(*cache.Line) bool  // victim filter, bound once at construction
 
 	st   *stats.Stats
 	seen map[uint64]bool // line IDs ever requested, for compulsory-miss accounting
@@ -41,8 +49,10 @@ type hitResponse struct {
 }
 
 // NewL1D builds an L1D for cfg under the given policy. deliver is invoked
-// once per completed load request (hit, fill, or bypass response).
-func NewL1D(cfg *config.Config, policy config.Policy, deliver func(*mem.Request)) *L1D {
+// once per completed load request (hit, fill, or bypass response). The
+// policy name must be registered (sim.New validates it up front); an
+// unknown name here is a programming error and panics.
+func NewL1D(cfg *config.Config, pol config.Policy, deliver func(*mem.Request)) *L1D {
 	kind := addr.LinearIndex
 	if cfg.L1D.Hashed {
 		kind = addr.HashIndex
@@ -50,7 +60,7 @@ func NewL1D(cfg *config.Config, policy config.Policy, deliver func(*mem.Request)
 	m := addr.MustMapper(cfg.L1D.LineSize, cfg.L1D.Sets, kind)
 	c := &L1D{
 		cfg:     cfg,
-		policy:  policy,
+		policy:  pol,
 		mapper:  m,
 		ta:      cache.NewTagArray(m, cfg.L1D.Ways),
 		mshr:    cache.NewMSHR(cfg.L1DMSHRs, cfg.L1DMSHRMerges),
@@ -60,28 +70,34 @@ func NewL1D(cfg *config.Config, policy config.Policy, deliver func(*mem.Request)
 		seen:    make(map[uint64]bool),
 		deliver: deliver,
 	}
-	if c.protectionEnabled() {
-		c.vta = NewVTA(cfg.L1D.Sets, cfg.VTAWays)
-		c.sampler = NewSampler(cfg.SampleAccesses, cfg.SampleInsnCap)
-		if policy == config.PolicyDLP {
-			c.pdpt = NewPDPT(cfg.PDPTEntries, cfg.VTAWays, cfg.MaxPD())
-		} else {
-			c.pdpt = NewGlobalPDT(cfg.VTAWays, cfg.MaxPD())
-		}
+	host := &policy.Host{
+		Cfg:    cfg,
+		Mapper: m,
+		Tags:   c.ta,
+		Stats:  c.st,
+		Now:    func() uint64 { return c.now },
 	}
+	p, err := policy.New(pol, host)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	c.pol = p
+	c.eligible = p.VictimFilter()
 	return c
-}
-
-func (c *L1D) protectionEnabled() bool {
-	return c.policy == config.PolicyGlobalProtection || c.policy == config.PolicyDLP
 }
 
 // Stats returns the cache's counters.
 func (c *L1D) Stats() *stats.Stats { return c.st }
 
 // PDPT exposes the prediction table for tests and introspection; nil for
-// the baseline and Stall-Bypass policies.
-func (c *L1D) PDPT() *PDPT { return c.pdpt }
+// policies that don't carry one (everything but Global-Protection and
+// DLP).
+func (c *L1D) PDPT() *PDPT {
+	if p, ok := c.pol.(policy.PDPTCarrier); ok {
+		return p.PDPT()
+	}
+	return nil
+}
 
 // Tick advances the cache to cycle now and delivers hit responses whose
 // latency has elapsed, returning how many it delivered.
@@ -118,45 +134,34 @@ func (c *L1D) NextDelivery() (at uint64, ok bool) {
 	return c.hitQ[0].readyAt, true
 }
 
-// NoteInstructions feeds executed-instruction counts into the sampling
-// clock so kernels with few loads still close samples (§4.1.4).
+// NoteInstructions feeds executed-instruction counts into the policy's
+// sampling clock so kernels with few loads still close samples (§4.1.4).
 func (c *L1D) NoteInstructions(n uint64) {
-	if c.sampler != nil && c.sampler.NoteInstructions(n) {
-		c.pdpt.EndSample()
-	}
+	c.pol.NoteInstructions(n)
 }
 
-// noteAccess counts an accepted (non-stalled) access and advances the
-// sampling clock.
-func (c *L1D) noteAccess() {
+// acceptAccess counts an accepted (non-stalled) access, records
+// first-ever line touches, and runs the policy's per-access hook
+// (sampling clock, protection aging).
+func (c *L1D) acceptAccess(req *mem.Request, set int) {
 	c.st.L1DAccesses++
-	if c.sampler != nil && c.sampler.NoteAccess() {
-		c.pdpt.EndSample()
-	}
-}
-
-// decrementPLs ages every protected line in the queried set by one
-// (§4.1.1: "When a set is queried, PL values of all TDA entries belonging
-// to this set are decreased by 1").
-func (c *L1D) decrementPLs(set int) {
-	if !c.protectionEnabled() {
-		return
-	}
-	lines := c.ta.Set(set)
-	for w := range lines {
-		if lines[w].PL > 0 {
-			lines[w].PL--
-		}
-	}
-}
-
-// trackCompulsory records first-ever touches of a line.
-func (c *L1D) trackCompulsory(a addr.Addr) {
-	id := c.mapper.LineID(a)
+	id := c.mapper.LineID(req.Addr)
 	if !c.seen[id] {
 		c.seen[id] = true
 		c.st.L1DCompulsory++
 	}
+	c.pol.OnAccess(req, set)
+}
+
+// blocked resolves a non-serviceable access through the policy: either
+// the request bypasses, or it stalls and the LD/ST pipeline register
+// retries next cycle.
+func (c *L1D) blocked(req *mem.Request, set int, why policy.Block) mem.AccessOutcome {
+	if c.pol.OnBlocked(req, set, why) == policy.Bypass {
+		return c.doBypass(req, set)
+	}
+	c.st.L1DStalls++
+	return mem.OutcomeStall
 }
 
 // Access presents one line-granularity request to the cache and returns
@@ -169,18 +174,8 @@ func (c *L1D) Access(req *mem.Request) mem.AccessOutcome {
 	set, way, res := c.ta.Probe(req.Addr)
 	switch res {
 	case cache.ProbeHit:
-		c.noteAccess()
-		c.trackCompulsory(req.Addr)
-		c.decrementPLs(set)
-		ln := &c.ta.Set(set)[way]
-		if c.protectionEnabled() {
-			// The hit is credited to the instruction that brought in or
-			// last hit the line; the line then belongs to the hitting
-			// instruction and receives its protection distance (§4.1.1).
-			c.pdpt.CreditTDA(ln.InsnID)
-			ln.InsnID = req.InsnID
-			ln.PL = c.pdpt.PD(req.InsnID)
-		}
+		c.acceptAccess(req, set)
+		c.pol.OnHit(req, set, &c.ta.Set(set)[way])
 		c.ta.Touch(set, way)
 		c.st.L1DHits++
 		c.st.L1DTraffic++
@@ -193,15 +188,9 @@ func (c *L1D) Access(req *mem.Request) mem.AccessOutcome {
 			panic(fmt.Sprintf("core: reserved line %#x without MSHR entry", uint64(req.Addr)))
 		}
 		if !c.mshr.CanMerge(e) {
-			if c.policy == config.PolicyStallBypass {
-				return c.doBypass(req, set)
-			}
-			c.st.L1DStalls++
-			return mem.OutcomeStall
+			return c.blocked(req, set, policy.BlockNoMerge)
 		}
-		c.noteAccess()
-		c.trackCompulsory(req.Addr)
-		c.decrementPLs(set)
+		c.acceptAccess(req, set)
 		c.mshr.Merge(e, req)
 		c.st.L1DMisses++
 		c.st.L1DTraffic++
@@ -217,41 +206,30 @@ func (c *L1D) accessMiss(req *mem.Request, set int) mem.AccessOutcome {
 	// Structural hazards: a serviced miss needs an MSHR entry and a
 	// miss-queue slot.
 	if c.mshr.Full() || c.missQ.Full() {
-		if c.policy == config.PolicyStallBypass {
-			return c.doBypass(req, set)
-		}
-		c.st.L1DStalls++
-		return mem.OutcomeStall
+		return c.blocked(req, set, policy.BlockStructural)
 	}
 
-	victim := c.ta.VictimIn(set, c.victimEligible())
+	victim := c.ta.VictimIn(set, c.eligible)
 	if victim < 0 {
 		// Every line in the set is reserved or protected.
-		switch c.policy {
-		case config.PolicyBaseline:
-			c.st.L1DStalls++
-			return mem.OutcomeStall
-		default:
-			// Stall-Bypass bypasses any stall; Global-Protection and DLP
-			// bypass the redundant miss rather than wait for a protected
-			// set (§4.1.1).
-			return c.doBypass(req, set)
-		}
+		return c.blocked(req, set, policy.BlockNoVictim)
 	}
 
-	c.noteAccess()
-	c.trackCompulsory(req.Addr)
-	c.decrementPLs(set)
-	c.creditVTA(req, set, true)
+	if !c.pol.Admit(req, set) {
+		return c.doBypass(req, set)
+	}
+
+	c.acceptAccess(req, set)
+	c.pol.OnAllocate(req, set)
 
 	evicted := c.ta.Reserve(set, victim, req.Addr)
 	if evicted.Valid {
 		c.st.L1DEvictions++
-		if c.vta != nil {
-			c.vta.Insert(set, evicted.Tag, evicted.InsnID)
-		}
+		c.pol.OnEvict(set, evicted)
 	}
-	c.ta.Set(set)[victim].InsnID = req.InsnID
+	ln := &c.ta.Set(set)[victim]
+	ln.InsnID = req.InsnID
+	c.pol.OnReserved(req, set, ln)
 	c.mshr.Allocate(req, set, victim)
 	if !c.missQ.Push(req) {
 		panic("core: miss queue full after capacity check")
@@ -261,44 +239,11 @@ func (c *L1D) accessMiss(req *mem.Request, set int) mem.AccessOutcome {
 	return mem.OutcomeMiss
 }
 
-// victimEligible returns the policy's replacement filter: protection
-// restricts victims to lines whose protected life has expired.
-func (c *L1D) victimEligible() func(*cache.Line) bool {
-	if !c.protectionEnabled() {
-		return nil
-	}
-	return func(l *cache.Line) bool { return l.PL == 0 }
-}
-
-// creditVTA looks the address up in the victim tag array and credits the
-// stored instruction on a hit. remove controls whether the entry is
-// consumed: allocating misses refetch the line so the victim entry is
-// retired; bypassed misses leave it for future reuse observations.
-func (c *L1D) creditVTA(req *mem.Request, set int, remove bool) {
-	if c.vta == nil {
-		return
-	}
-	tag := c.mapper.Tag(req.Addr)
-	if remove {
-		if id, ok := c.vta.Lookup(set, tag); ok {
-			c.pdpt.CreditVTA(id)
-			c.st.VTAHits++
-		}
-		return
-	}
-	if id, ok := c.vta.Peek(set, tag); ok {
-		c.pdpt.CreditVTA(id)
-		c.st.VTAHits++
-	}
-}
-
 // doBypass sends req around the cache. The bypass path never stalls
 // (it has its own queue sharing only the ICNT injection port).
 func (c *L1D) doBypass(req *mem.Request, set int) mem.AccessOutcome {
-	c.noteAccess()
-	c.trackCompulsory(req.Addr)
-	c.decrementPLs(set)
-	c.creditVTA(req, set, false)
+	c.acceptAccess(req, set)
+	c.pol.OnBypass(req, set)
 	req.Bypass = true
 	c.bypsQ.Push(req)
 	c.st.L1DBypasses++
@@ -351,12 +296,7 @@ func (c *L1D) OnResponse(req *mem.Request) {
 	c.ta.Fill(e.Set, e.Way)
 	ln := &c.ta.Set(e.Set)[e.Way]
 	ln.InsnID = req.InsnID
-	if c.protectionEnabled() {
-		// The line receives its instruction's protection distance when
-		// the fill lands (the access that allocated it "writes the PD
-		// value to the PL field", §4.1.1).
-		ln.PL = c.pdpt.PD(req.InsnID)
-	}
+	c.pol.OnFill(req, ln)
 	for _, r := range e.Requests {
 		c.deliver(r)
 	}

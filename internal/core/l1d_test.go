@@ -8,6 +8,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/mem"
+	"repro/internal/policy"
 )
 
 // harness wires an L1D to a recording delivery sink and a perfect memory
@@ -333,13 +334,14 @@ func TestHitAttributionChain(t *testing.T) {
 	for step, pc := range []uint32{1, 2, 3} {
 		before := make([]uint64, 4)
 		for i := range before {
-			before[i] = h.c.PDPT().tdaHits[addr.HashPC(uint32(i))]
+			before[i], _ = h.c.PDPT().EntryHits(addr.HashPC(uint32(i)))
 		}
 		if got := h.load(a, pc); got != mem.OutcomeHit {
 			t.Fatalf("step %d: %v", step, got)
 		}
 		for i := range credits {
-			credits[i] = h.c.PDPT().tdaHits[addr.HashPC(uint32(i))] - before[i]
+			after, _ := h.c.PDPT().EntryHits(addr.HashPC(uint32(i)))
+			credits[i] = after - before[i]
 		}
 		wantCredited := pc - 1
 		for i := range credits {
@@ -454,7 +456,7 @@ func TestStoreResponsePanics(t *testing.T) {
 // points, every policy maintains hits+misses+bypasses == accesses, and
 // delivered responses eventually match non-stalled load count.
 func TestConservationProperty(t *testing.T) {
-	policies := config.AllPolicies()
+	policies := policy.All()
 	f := func(ops []uint16, policySel uint8) bool {
 		cfg := config.Baseline()
 		cfg.L1DMSHRs = 4

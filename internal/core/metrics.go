@@ -3,10 +3,12 @@ package core
 import "repro/internal/metrics"
 
 // RegisterMetrics registers the cache's counters and the occupancy
-// gauges of its subcomponents under prefix (e.g. "sm3.l1d"). Counters
-// are registered by pointer into the stats the cache already
-// maintains, so the access path is byte-for-byte the code that runs
-// with metrics disabled.
+// gauges of its subcomponents under prefix (e.g. "sm3.l1d"), then the
+// active policy's own instrumentation (VTA occupancy, PDPT levels,
+// predictor counters — whatever the scheme maintains). Counters are
+// registered by pointer into the stats the cache already maintains, so
+// the access path is byte-for-byte the code that runs with metrics
+// disabled.
 func (c *L1D) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	reg.Counter(prefix+".accesses", &c.st.L1DAccesses)
 	reg.Counter(prefix+".hits", &c.st.L1DHits)
@@ -22,42 +24,5 @@ func (c *L1D) RegisterMetrics(reg *metrics.Registry, prefix string) {
 	c.missQ.RegisterMetrics(reg, prefix+".missq")
 	c.bypsQ.RegisterMetrics(reg, prefix+".bypsq")
 	reg.IntGauge(prefix+".hitq.depth", func() int { return len(c.hitQ) })
-	if c.vta != nil {
-		c.vta.RegisterMetrics(reg, prefix+".vta")
-	}
-	if c.pdpt != nil {
-		c.pdpt.RegisterMetrics(reg, prefix+".pdpt")
-	}
-}
-
-// RegisterMetrics registers the victim tag array's live-entry gauge.
-func (v *VTA) RegisterMetrics(reg *metrics.Registry, prefix string) {
-	reg.IntGauge(prefix+".entries", v.Len)
-}
-
-// RegisterMetrics registers the prediction table's sampling progress
-// and protection-distance level. The hit counters are per-period
-// levels (EndSample resets them), so they are gauges, not counters;
-// pd.sum/pd.max summarize the current protection distances across all
-// table entries — the adaptation signal Figs. 8–9 are about.
-func (p *PDPT) RegisterMetrics(reg *metrics.Registry, prefix string) {
-	reg.Counter(prefix+".samples", &p.samples)
-	reg.Gauge(prefix+".tda_hits", func() uint64 { return p.globalTDA })
-	reg.Gauge(prefix+".vta_hits", func() uint64 { return p.globalVTA })
-	reg.Gauge(prefix+".pd.sum", func() uint64 {
-		var sum uint64
-		for _, d := range p.pd {
-			sum += uint64(d)
-		}
-		return sum
-	})
-	reg.Gauge(prefix+".pd.max", func() uint64 {
-		var m int
-		for _, d := range p.pd {
-			if d > m {
-				m = d
-			}
-		}
-		return uint64(m)
-	})
+	c.pol.RegisterMetrics(reg, prefix)
 }

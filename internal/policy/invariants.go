@@ -1,0 +1,149 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// InvariantError reports a violated policy invariant found by a
+// self-check (sim.Options.SelfCheck) or an explicit CheckInvariants
+// call. These are the structural properties correctness rests on — PL
+// counters staying within their field width, protection never exceeding
+// the set's associativity, PDPT predictions staying within the PD
+// field, the VTA keeping the TDA's geometry — plus the stats
+// conservation identity. A violation means the engine (or a future
+// modification of it) is broken, not that a workload misbehaved, so it
+// is surfaced as a typed error rather than a panic: one bad engine
+// build fails its job cleanly instead of tearing down a whole batch.
+type InvariantError struct {
+	Component string // "TDA", "PDPT", "VTA", "ATA", "predictor", "stats"
+	Check     string // short invariant identifier, e.g. "pl-range"
+	Detail    string
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("core: invariant %s/%s violated: %s", e.Component, e.Check, e.Detail)
+}
+
+// checkNoProtectionTDA verifies that a scheme without protection
+// hardware left every line's PL field at zero.
+func checkNoProtectionTDA(h *Host, name config.Policy) error {
+	maxPD := h.Cfg.MaxPD()
+	for s := 0; s < h.Tags.NumSets(); s++ {
+		lines := h.Tags.Set(s)
+		for w := range lines {
+			ln := &lines[w]
+			if ln.PL < 0 || ln.PL > maxPD {
+				return &InvariantError{
+					Component: "TDA",
+					Check:     "pl-range",
+					Detail: fmt.Sprintf("set %d way %d: PL=%d outside [0,%d] (PDBits=%d)",
+						s, w, ln.PL, maxPD, h.Cfg.PDBits),
+				}
+			}
+			if ln.PL > 0 {
+				return &InvariantError{
+					Component: "TDA",
+					Check:     "pl-without-protection",
+					Detail: fmt.Sprintf("set %d way %d: PL=%d under policy %s, which has no protection hardware",
+						s, w, ln.PL, name),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkProtectedTDA verifies the PD-field bounds of the paper's
+// protection schemes: every PL within the field width and no set
+// reporting more protected lines than it has ways.
+func checkProtectedTDA(h *Host) error {
+	maxPD := h.Cfg.MaxPD()
+	for s := 0; s < h.Tags.NumSets(); s++ {
+		protected := 0
+		lines := h.Tags.Set(s)
+		for w := range lines {
+			ln := &lines[w]
+			if ln.PL < 0 || ln.PL > maxPD {
+				return &InvariantError{
+					Component: "TDA",
+					Check:     "pl-range",
+					Detail: fmt.Sprintf("set %d way %d: PL=%d outside [0,%d] (PDBits=%d)",
+						s, w, ln.PL, maxPD, h.Cfg.PDBits),
+				}
+			}
+			if ln.PL > 0 {
+				protected++
+			}
+		}
+		if protected > h.Cfg.L1D.Ways {
+			return &InvariantError{
+				Component: "TDA",
+				Check:     "protected-bound",
+				Detail: fmt.Sprintf("set %d: %d protected lines exceed associativity %d",
+					s, protected, h.Cfg.L1D.Ways),
+			}
+		}
+	}
+	return nil
+}
+
+// CheckInvariants verifies the prediction table's bounds: every
+// protection distance within [0, maxPD] (the PD field's width, §4.3)
+// and hit counters consistent with the running global totals.
+func (p *PDPT) CheckInvariants() error {
+	var tda, vta uint64
+	for i, pd := range p.pd {
+		if pd < 0 || pd > p.maxPD {
+			return &InvariantError{
+				Component: "PDPT",
+				Check:     "pd-range",
+				Detail:    fmt.Sprintf("entry %d: PD=%d outside [0,%d]", i, pd, p.maxPD),
+			}
+		}
+		tda += p.tdaHits[i]
+		vta += p.vtaHits[i]
+	}
+	if tda != p.globalTDA || vta != p.globalVTA {
+		return &InvariantError{
+			Component: "PDPT",
+			Check:     "hit-counter-sum",
+			Detail: fmt.Sprintf("per-entry sums (TDA=%d, VTA=%d) disagree with global counters (TDA=%d, VTA=%d)",
+				tda, vta, p.globalTDA, p.globalVTA),
+		}
+	}
+	return nil
+}
+
+// CheckGeometry verifies the VTA mirrors the TDA's set structure with
+// the configured associativity (footnote 2: same geometry, tags only).
+func (v *VTA) CheckGeometry(wantSets, wantWays int) error {
+	if len(v.sets) != wantSets {
+		return &InvariantError{
+			Component: "VTA",
+			Check:     "geometry",
+			Detail:    fmt.Sprintf("%d sets, want %d", len(v.sets), wantSets),
+		}
+	}
+	for s, set := range v.sets {
+		if len(set) != wantWays {
+			return &InvariantError{
+				Component: "VTA",
+				Check:     "geometry",
+				Detail:    fmt.Sprintf("set %d has %d ways, want %d", s, len(set), wantWays),
+			}
+		}
+		for w := range set {
+			if e := &set[w]; e.valid && e.lastUse > v.clock {
+				return &InvariantError{
+					Component: "VTA",
+					Check:     "lru-clock",
+					Detail: fmt.Sprintf("set %d way %d: lastUse %d ahead of clock %d",
+						s, w, e.lastUse, v.clock),
+				}
+			}
+		}
+	}
+	return nil
+}

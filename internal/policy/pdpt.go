@@ -1,4 +1,4 @@
-package core
+package policy
 
 // PDPT is the Protection Distance Prediction Table (§4.1.3): one entry
 // per memory-instruction ID, each accumulating TDA and VTA hits over the
@@ -24,7 +24,7 @@ type PDPT struct {
 // uses 128), Nasc = nasc and a PD field saturating at maxPD.
 func NewPDPT(entries, nasc, maxPD int) *PDPT {
 	if entries <= 0 || nasc <= 0 || maxPD <= 0 {
-		panic("core: invalid PDPT parameters")
+		panic("policy: invalid PDPT parameters")
 	}
 	return &PDPT{
 		nasc:    nasc,
@@ -71,6 +71,13 @@ func (p *PDPT) Samples() uint64 { return p.samples }
 // GlobalHits returns the running global TDA and VTA hit counters of the
 // current sample, for tests and introspection.
 func (p *PDPT) GlobalHits() (tda, vta uint64) { return p.globalTDA, p.globalVTA }
+
+// EntryHits returns insnID's per-entry hit counters for the current
+// sample, for tests and introspection.
+func (p *PDPT) EntryHits(insnID uint8) (tda, vta uint64) {
+	i := p.idx(insnID)
+	return p.tdaHits[i], p.vtaHits[i]
+}
 
 // stepAdj implements the paper's shift-based step comparison (§4.2): it
 // approximates Nasc * floor(HitVTA/HitTDA) by comparing HitVTA against
@@ -145,7 +152,7 @@ type Sampler struct {
 // instruction cap.
 func NewSampler(accessLimit, insnCap int) *Sampler {
 	if accessLimit <= 0 || insnCap <= 0 {
-		panic("core: invalid sampler parameters")
+		panic("policy: invalid sampler parameters")
 	}
 	return &Sampler{accessLimit: uint64(accessLimit), insnCap: uint64(insnCap)}
 }

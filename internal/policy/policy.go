@@ -1,0 +1,285 @@
+// Package policy defines the pluggable L1D management-policy interface
+// and the registry of compiled-in schemes.
+//
+// The L1D controller in internal/core owns the mechanism — tag array,
+// MSHRs, queues, hit/miss/bypass accounting — and delegates every
+// decision to a Policy: whether a blocked access stalls or bypasses,
+// which lines are eligible victims, whether a miss is admitted, and what
+// protection state rides along on hits, reservations, evictions and
+// fills. The four schemes evaluated by the paper (Baseline,
+// Stall-Bypass, Global-Protection, DLP) are registry entries like any
+// other, so a new scheme is data — one file and one Spec — rather than
+// new branches in the cache's hot path.
+//
+// The paper's protection hardware (VTA, PDPT, sampler) lives here too:
+// it is policy state, instantiated only by the schemes that use it, so
+// non-protecting policies pay nothing for it.
+package policy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/addr"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// Host is the controller-owned state a policy may observe and annotate.
+// The cache constructs one Host per L1D and passes it to the scheme's
+// constructor; policies keep the pointer and never copy the struct.
+type Host struct {
+	Cfg    *config.Config
+	Mapper *addr.Mapper
+	Tags   *cache.TagArray
+	Stats  *stats.Stats
+	Now    func() uint64 // current core cycle
+}
+
+// Block says why an access could not be serviced in place.
+type Block uint8
+
+const (
+	// BlockNoMerge: the line is in flight and its MSHR entry cannot
+	// accept another merged request.
+	BlockNoMerge Block = iota
+	// BlockStructural: no free MSHR entry or miss-queue slot.
+	BlockStructural
+	// BlockNoVictim: every line in the set is reserved or protected.
+	BlockNoVictim
+)
+
+// Decision resolves a blocked access.
+type Decision uint8
+
+const (
+	// Stall rejects the access; the LD/ST unit retries next cycle.
+	Stall Decision = iota
+	// Bypass sends the access around the cache on the bypass queue.
+	Bypass
+)
+
+// Policy is the per-L1D decision maker. One instance is built per cache
+// (never shared across SMs), so implementations need no locking. All
+// methods are on the simulation hot path: implementations must not
+// allocate in steady state.
+type Policy interface {
+	// OnAccess runs once for every accepted (non-stalled) access — hit,
+	// serviced miss, merged miss, or bypass — before the outcome-specific
+	// hook. Protection schemes advance their sampling clock and age the
+	// queried set's protected lines here.
+	OnAccess(req *mem.Request, set int)
+
+	// NoteInstructions feeds executed-instruction counts into schemes
+	// with an instruction-driven sampling clock (§4.1.4).
+	NoteInstructions(n uint64)
+
+	// OnBlocked picks stall-vs-bypass for an access the mechanism cannot
+	// service, given the reason.
+	OnBlocked(req *mem.Request, set int, why Block) Decision
+
+	// Admit reports whether a serviceable miss should allocate a line;
+	// false sends the request down the bypass path. Called after victim
+	// selection succeeds, so an admitted request always has resources.
+	Admit(req *mem.Request, set int) bool
+
+	// VictimFilter returns the replacement-eligibility predicate, or nil
+	// for plain LRU. Called once at construction; the filter must stay
+	// valid for the cache's lifetime.
+	VictimFilter() func(*cache.Line) bool
+
+	// OnHit runs on a tag hit, before LRU update. The policy may
+	// re-attribute and re-protect the line.
+	OnHit(req *mem.Request, set int, ln *cache.Line)
+
+	// OnAllocate runs when a miss has been accepted and a victim chosen,
+	// before the line is reserved.
+	OnAllocate(req *mem.Request, set int)
+
+	// OnEvict runs when reserving the line displaced a valid one.
+	OnEvict(set int, evicted cache.Line)
+
+	// OnReserved runs after the line is reserved and attributed to the
+	// requesting instruction (insertion-time protection goes here).
+	OnReserved(req *mem.Request, set int, ln *cache.Line)
+
+	// OnBypass runs when a request is sent around the cache.
+	OnBypass(req *mem.Request, set int)
+
+	// OnFill runs when the fetch returns and the reserved line becomes
+	// valid (fill-time protection goes here).
+	OnFill(req *mem.Request, ln *cache.Line)
+
+	// CheckInvariants verifies the policy's structural invariants,
+	// including any constraints it imposes on the tag array's protection
+	// fields. It must never mutate state.
+	CheckInvariants() error
+
+	// RegisterMetrics registers the policy's observability surface under
+	// prefix (e.g. "sm3.l1d"); counters must be registered by pointer so
+	// the hot path is identical with metrics disabled.
+	RegisterMetrics(reg *metrics.Registry, prefix string)
+}
+
+// PDPTCarrier is the capability sub-interface of schemes built on the
+// paper's protection-distance prediction table (Global-Protection and
+// DLP). Tools that introspect PD state (pdtrace, tests) type-assert on
+// it; other policies don't carry the hardware at all.
+type PDPTCarrier interface {
+	PDPT() *PDPT
+}
+
+// Spec is one registry entry: a compiled-in scheme with its display
+// name, CLI aliases, paper membership, provenance and constructor.
+type Spec struct {
+	Name    config.Policy // display name; also the canonical CLI spelling
+	Aliases []string      // extra accepted CLI spellings (lower-case)
+	Paper   bool          // one of the four schemes the paper evaluates
+	Cite    string        // one-line provenance
+	New     func(h *Host) Policy
+}
+
+// specs is the registry, in plotting order: the paper's four schemes
+// first (the order its figures use), then the extensions.
+var specs = []Spec{
+	{
+		Name:    config.PolicyBaseline,
+		Aliases: []string{"base"},
+		Paper:   true,
+		Cite:    "stall-and-retry LRU, the unmodified Fermi L1D (paper §5.3)",
+		New:     func(h *Host) Policy { return &baseline{h: h} },
+	},
+	{
+		Name:    config.PolicyStallBypass,
+		Aliases: []string{"sb"},
+		Paper:   true,
+		Cite:    "bypass-on-stall comparator (paper §5.3)",
+		New:     func(h *Host) Policy { return &stallBypass{h: h} },
+	},
+	{
+		Name:    config.PolicyGlobalProtection,
+		Aliases: []string{"gp"},
+		Paper:   true,
+		Cite:    "single global protection distance, after Duong et al. PDP (paper §5.3)",
+		New:     func(h *Host) Policy { return newProtect(h, true) },
+	},
+	{
+		Name:  config.PolicyDLP,
+		Paper: true,
+		Cite:  "per-instruction dynamic line protection, the paper's contribution (§4)",
+		New:   func(h *Host) Policy { return newProtect(h, false) },
+	},
+	{
+		Name:    config.PolicyATA,
+		Aliases: []string{"ata-cache"},
+		Cite:    "aggregated-tag-array admission, after ATA-Cache (arXiv:2302.10638)",
+		New:     func(h *Host) Policy { return newATA(h) },
+	},
+	{
+		Name:    config.PolicyCCWS,
+		Aliases: []string{"ccws"},
+		Cite:    "VTA-driven lost-locality protection, after Rogers et al. CCWS (MICRO 2012)",
+		New:     func(h *Host) Policy { return newCCWS(h) },
+	},
+	{
+		Name:    config.PolicyReusePredictor,
+		Aliases: []string{"reuse-predictor", "pred"},
+		Cite:    "online per-PC dead-block bypass, in the spirit of learned GPU caching (arXiv:2509.20979)",
+		New:     func(h *Host) Policy { return newReusePredictor(h) },
+	},
+}
+
+// Specs returns the registry in plotting order. The slice is shared:
+// callers must not mutate it.
+func Specs() []Spec { return specs }
+
+// All lists every registered policy name, paper schemes first.
+func All() []config.Policy {
+	out := make([]config.Policy, len(specs))
+	for i, sp := range specs {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+// Paper lists the four paper schemes in the order the figures plot them.
+func Paper() []config.Policy {
+	var out []config.Policy
+	for _, sp := range specs {
+		if sp.Paper {
+			out = append(out, sp.Name)
+		}
+	}
+	return out
+}
+
+// Lookup finds the registry entry for a policy name.
+func Lookup(name config.Policy) (Spec, bool) {
+	for _, sp := range specs {
+		if sp.Name == name {
+			return sp, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Parse resolves a CLI spelling — a registered name or alias, case
+// insensitively — to the canonical policy name.
+func Parse(s string) (config.Policy, error) {
+	want := strings.ToLower(strings.TrimSpace(s))
+	for _, sp := range specs {
+		if strings.ToLower(string(sp.Name)) == want {
+			return sp.Name, nil
+		}
+		for _, al := range sp.Aliases {
+			if al == want {
+				return sp.Name, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("unknown policy %q (want %s)", s, strings.Join(spellings(), "|"))
+}
+
+// spellings lists the canonical CLI spellings for error messages and
+// flag help.
+func spellings() []string {
+	out := make([]string, len(specs))
+	for i, sp := range specs {
+		out[i] = strings.ToLower(string(sp.Name))
+	}
+	return out
+}
+
+// Usage returns the "a|b|c" spelling list for CLI flag help.
+func Usage() string { return strings.Join(spellings(), " | ") }
+
+// New builds the named policy over the host, or an error naming the
+// valid spellings when the name is not registered.
+func New(name config.Policy, h *Host) (Policy, error) {
+	sp, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("policy: unknown policy %q (registered: %s)",
+			string(name), strings.Join(spellings(), ", "))
+	}
+	return sp.New(h), nil
+}
+
+// Base provides no-op implementations of every optional hook; schemes
+// embed it and override what they need. OnBlocked is deliberately
+// absent: every scheme must state its stall-vs-bypass behavior.
+type Base struct{}
+
+func (Base) OnAccess(*mem.Request, int)                        {}
+func (Base) NoteInstructions(uint64)                           {}
+func (Base) Admit(*mem.Request, int) bool                      { return true }
+func (Base) VictimFilter() func(*cache.Line) bool              { return nil }
+func (Base) OnHit(*mem.Request, int, *cache.Line)              {}
+func (Base) OnAllocate(*mem.Request, int)                      {}
+func (Base) OnEvict(int, cache.Line)                           {}
+func (Base) OnReserved(*mem.Request, int, *cache.Line)         {}
+func (Base) OnBypass(*mem.Request, int)                        {}
+func (Base) OnFill(*mem.Request, *cache.Line)                  {}
+func (Base) RegisterMetrics(*metrics.Registry, string)         {}

@@ -1,10 +1,4 @@
-// Package core implements the paper's contribution: the Dynamic Line
-// Protection (DLP) L1 data-cache management scheme, its Victim Tag Array
-// (VTA), its Protection Distance Prediction Table (PDPT), the Figure 9
-// protection-distance computation, and an L1D controller that can run
-// under any of the four evaluated policies (Baseline, Stall-Bypass,
-// Global-Protection, DLP). The §4.3 hardware-overhead model is also here.
-package core
+package policy
 
 import (
 	"repro/internal/addr"

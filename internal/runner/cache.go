@@ -33,7 +33,7 @@ func (j Job) Key() string {
 	h := sha256.New()
 	// Config has only value fields, so %#v is a canonical encoding.
 	fmt.Fprintf(h, "config|%#v\n", *j.Config)
-	fmt.Fprintf(h, "policy|%d\n", j.Policy)
+	fmt.Fprintf(h, "policy|%s\n", j.Policy)
 	o := j.Opts.Canonical()
 	fmt.Fprintf(h, "opts|%d|%g|%d\n", o.MaxCycles, *o.BackgroundFlitsPerKInsn, o.InjectionRate)
 	fmt.Fprintf(h, "kernel|%s\n", kd)

@@ -251,6 +251,13 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 	go func() {
 		defer close(next)
 		for i := range jobs {
+			// Re-check before every dispatch: a select parked on both
+			// cases picks randomly once both are ready, so without this a
+			// cancelled batch could keep feeding workers that happen to be
+			// waiting.
+			if ctx.Err() != nil {
+				return
+			}
 			select {
 			case next <- i:
 			case <-ctx.Done():

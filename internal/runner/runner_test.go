@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/config"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -44,7 +45,7 @@ func testJobs() []Job {
 	k2 := streamKernel("b", 3, 1, 4, 3)
 	var jobs []Job
 	for _, k := range []*trace.Kernel{k1, k2} {
-		for _, p := range config.AllPolicies() {
+		for _, p := range policy.All() {
 			jobs = append(jobs, Job{
 				Label:  k.Name + " under " + p.String(),
 				Config: config.Baseline(),

@@ -14,6 +14,7 @@ import (
 	"repro/internal/l2"
 	"repro/internal/mem"
 	"repro/internal/metrics"
+	policypkg "repro/internal/policy"
 	"repro/internal/sm"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -168,6 +169,9 @@ type Engine struct {
 func New(cfg *config.Config, policy config.Policy, opts Options) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if _, ok := policypkg.Lookup(policy); !ok {
+		return nil, fmt.Errorf("sim: %q is not a registered policy (want %s)", policy, policypkg.Usage())
 	}
 	opts = opts.withDefaults()
 	e := &Engine{

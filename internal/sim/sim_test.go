@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/config"
+	"repro/internal/policy"
 	"repro/internal/prng"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -71,7 +72,7 @@ func TestTinyKernelCompletes(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	k1 := streamKernel("d", 4, 4, 8, 3)
 	k2 := streamKernel("d", 4, 4, 8, 3)
-	for _, p := range config.AllPolicies() {
+	for _, p := range policy.All() {
 		a := mustRun(t, config.Baseline(), p, k1)
 		b := mustRun(t, config.Baseline(), p, k2)
 		if *a != *b {
@@ -260,7 +261,7 @@ func TestRandomKernelsAllPolicies(t *testing.T) {
 			}
 			return k
 		}
-		for _, p := range config.AllPolicies() {
+		for _, p := range policy.All() {
 			a, err := RunOnce(context.Background(), config.Baseline(), p, build(), Options{MaxCycles: 2_000_000})
 			if err != nil {
 				t.Logf("policy %v: %v", p, err)

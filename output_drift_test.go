@@ -141,6 +141,35 @@ func TestAblateOutputCommitted(t *testing.T) {
 	diffAgainstFile(t, b.String(), "ablate_output.txt")
 }
 
+// TestAblateRenderCores8 re-renders the first committed ablation block
+// (the sample-period sweep) with eight-way phase parallelism inside
+// every simulation and the sampled self-checks on, and demands the
+// rendered bytes match the committed reference. This is the rendered
+// counterpart of TestGoldenSuiteIdentityCores8: the registry refactor
+// must not perturb a single printed character at any core count.
+func TestAblateRenderCores8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep skipped in -short mode")
+	}
+	withGOMAXPROCS(t, 16)
+	r := &Runner{Workers: 2, Cores: 8, SelfCheck: true, Cache: NewRunCache()}
+	ab, err := AblateSamplePeriod(context.Background(), DefaultAblationApps(), r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile("ablate_output.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, ok := strings.Cut(string(raw), "\n\n")
+	if !ok {
+		t.Fatal("ablate_output.txt has no blank-line block separator")
+	}
+	if got := strings.TrimSuffix(ab.Render(), "\n"); got != want {
+		t.Errorf("-j 2 -cores 8 sample-period sweep drifted from committed block:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 // TestInterruptExitCode pins the Ctrl-C contract end to end: a real
 // SIGINT delivered to a running dlpsim must exit 130 — distinct from
 // both success and the generic failure exit 1 — so scripts can tell an
