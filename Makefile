@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test faultcheck figures bench benchgate clean
+.PHONY: all build vet check test faultcheck conform fuzzsmoke figures bench benchgate clean
 
 all: build
 
@@ -25,6 +25,22 @@ check: build vet
 faultcheck: build
 	$(GO) test -race ./internal/faultinject/
 	$(GO) test -race -run 'TestFaultTolerantSuiteAcceptance|TestSelfCheckOutputIdentical' .
+
+# Replay the committed conformance corpus: every case re-simulates
+# serially, with phase shards, and with fast-forward disabled, and the
+# normalized stats must match expected_stats.json byte for byte. After
+# an intentional behavior change, regenerate with
+# `go run ./cmd/conform -update` and commit the diff.
+conform: build
+	$(GO) run ./cmd/conform -j 8
+
+# Fixed-seed differential fuzz smoke under the race detector: 200
+# random (config, policy, workload) triples run serial vs sharded vs
+# ff-off with the invariant sweeps on. Deterministic, so a failure in
+# CI reproduces locally with the same seed; findings are shrunk and
+# written to /tmp/conffuzz-findings as ready-to-commit corpus cases.
+fuzzsmoke: build
+	$(GO) run -race ./cmd/conffuzz -seed 1 -n 200 -out /tmp/conffuzz-findings
 
 # Full suite, including the ~2 min headline reproduction tests.
 test: build vet

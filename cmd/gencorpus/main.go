@@ -1,0 +1,175 @@
+// Command gencorpus lays out the conformance corpus skeleton (one
+// config.json per case); run cmd/conform -update afterwards to fill in
+// the expected stats. It is a maintenance tool, not part of the build.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/conform"
+	"repro/internal/policy"
+	"repro/internal/workloads"
+)
+
+func main() {
+	root := "testdata/conform"
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+
+	add := func(name, desc string, pol config.Policy, mut func(*config.Config),
+		wl conform.WorkloadRef, cores []int, ffOff bool) {
+		cfg := config.Baseline()
+		cfg.Name = "conform"
+		if mut != nil {
+			mut(cfg)
+		}
+		sp := &conform.Spec{
+			Schema:         conform.SpecSchema,
+			Description:    desc,
+			Policy:         string(pol),
+			Config:         cfg,
+			Workload:       wl,
+			MaxCycles:      20_000_000,
+			Cores:          cores,
+			FastForwardOff: ffOff,
+		}
+		if err := conform.WriteCase(filepath.Join(root, name), sp, nil); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(name)
+	}
+
+	slug := func(p config.Policy) string { return strings.ToLower(string(p)) }
+
+	// One balanced-mix case per registered policy at three core counts:
+	// the broadest serial-vs-parallel equivalence sweep in the corpus.
+	for i, pol := range policy.All() {
+		add(slug(pol)+"-mix",
+			"balanced synthetic mix under "+string(pol)+", serial vs 2- and 8-shard engines",
+			pol, nil,
+			conform.WorkloadRef{Synth: &workloads.SynthSpec{
+				Seed: uint64(101 + i), Blocks: 4, WarpsPerBlock: 4,
+				MemInsnsPerWarp: 48, ComputeRun: 2, FootprintLines: 96,
+				HotLines: 8, StorePct: 20, StreamPct: 3, StridePct: 2,
+				GatherPct: 1, HotPct: 2, ConflictPct: 2,
+			}},
+			[]int{1, 2, 8}, false)
+	}
+
+	// One conflict-thrash case per policy on a deliberately small cache:
+	// heavy eviction/bypass pressure is where the schemes diverge most.
+	for i, pol := range policy.All() {
+		add(slug(pol)+"-thrash",
+			"conflict-heavy thrash of a 4-set/2-way unhashed L1D under "+string(pol),
+			pol, func(c *config.Config) {
+				c.L1D.Sets = 4
+				c.L1D.Ways = 2
+				c.L1D.Hashed = false
+			},
+			conform.WorkloadRef{Synth: &workloads.SynthSpec{
+				Seed: uint64(201 + i), Blocks: 2, WarpsPerBlock: 6,
+				MemInsnsPerWarp: 40, FootprintLines: 128, HotLines: 4,
+				StorePct: 10, ConflictPct: 6, StridePct: 2,
+				ConflictStrideLines: 4,
+			}},
+			[]int{1, 2}, false)
+	}
+
+	// One fast-forward boundary case per paper scheme: long compute runs
+	// open idle windows the run loop jumps over, and the ff-off variant
+	// re-proves the jumps are unobservable.
+	for i, pol := range policy.Paper() {
+		add(slug(pol)+"-ffboundary",
+			"sparse accesses with long compute runs; checks fast-forward equivalence under "+string(pol),
+			pol, nil,
+			conform.WorkloadRef{Synth: &workloads.SynthSpec{
+				Seed: uint64(301 + i), Blocks: 2, WarpsPerBlock: 2,
+				MemInsnsPerWarp: 24, ComputeRun: 24, FootprintLines: 32,
+				HotLines: 4, StorePct: 15, StreamPct: 4, HotPct: 2,
+			}},
+			[]int{1}, true)
+	}
+
+	// Geometry corner cases.
+	add("geom-direct-mapped",
+		"direct-mapped 32-set L1D: replacement pressure without associativity",
+		config.PolicyDLP, func(c *config.Config) {
+			c.L1D.Ways = 1
+			c.VTAWays = 1
+		},
+		conform.WorkloadRef{Synth: &workloads.SynthSpec{
+			Seed: 401, Blocks: 3, WarpsPerBlock: 3, MemInsnsPerWarp: 36,
+			FootprintLines: 80, HotLines: 6, StorePct: 10, StridePct: 3, HotPct: 2,
+		}},
+		[]int{1, 2}, false)
+
+	add("geom-tiny-cache",
+		"single-set 4-way L1D with 2 MSHRs: structural stalls dominate",
+		config.PolicyATA, func(c *config.Config) {
+			c.L1D.Sets = 1
+			c.L1D.Ways = 4
+			c.L1DMSHRs = 2
+			c.L1DMSHRMerges = 2
+			c.L1DMissQueue = 2
+			c.ATAWays = 2
+		},
+		conform.WorkloadRef{Synth: &workloads.SynthSpec{
+			Seed: 402, Blocks: 2, WarpsPerBlock: 4, MemInsnsPerWarp: 32,
+			FootprintLines: 64, HotLines: 4, StorePct: 10, GatherPct: 1,
+		}},
+		[]int{1, 2}, false)
+
+	add("geom-lowbw-icnt",
+		"1-flit/cycle interconnect: every data packet streams across cycles (regression for the port-streaming fix)",
+		config.PolicyBaseline, func(c *config.Config) {
+			c.ICNTBandwidthFlits = 1
+			c.ICNTLatency = 0
+		},
+		conform.WorkloadRef{Synth: &workloads.SynthSpec{
+			Seed: 403, Blocks: 2, WarpsPerBlock: 2, MemInsnsPerWarp: 24,
+			FootprintLines: 48, HotLines: 4, StorePct: 25, StreamPct: 3,
+		}},
+		[]int{1, 2}, true)
+
+	add("geom-one-sm",
+		"single SM at 8 resident warps: no cross-SM interleaving at all",
+		config.PolicyCCWS, func(c *config.Config) {
+			c.NumSMs = 1
+			c.MaxWarpsPerSM = 8
+		},
+		conform.WorkloadRef{Synth: &workloads.SynthSpec{
+			Seed: 404, Blocks: 2, WarpsPerBlock: 4, MemInsnsPerWarp: 40,
+			FootprintLines: 72, HotLines: 6, StorePct: 10, ConflictPct: 3,
+		}},
+		[]int{1, 2}, false)
+
+	add("geom-small-l2",
+		"4-set L2 with shallow MSHRs behind an unhashed wide L1D",
+		config.PolicyReusePredictor, func(c *config.Config) {
+			c.L1D.Sets = 8
+			c.L1D.Ways = 8
+			c.L1D.Hashed = false
+			c.L2.Sets = 4
+			c.L2MSHRs = 4
+			c.L2MissQueue = 4
+		},
+		conform.WorkloadRef{Synth: &workloads.SynthSpec{
+			Seed: 405, Blocks: 3, WarpsPerBlock: 2, MemInsnsPerWarp: 32,
+			FootprintLines: 112, HotLines: 8, StorePct: 20, StreamPct: 4,
+		}},
+		[]int{1, 2, 8}, false)
+
+	// Registry applications: real loop-nest traces, not synthetic mixes.
+	add("app-hs-dlp", "Hotspot (Rodinia) under DLP",
+		config.PolicyDLP, nil, conform.WorkloadRef{App: "HS"}, []int{1, 2}, false)
+	add("app-bp-gp", "Back Propagation (Rodinia) under Global-Protection",
+		config.PolicyGlobalProtection, nil, conform.WorkloadRef{App: "BP"}, []int{1, 2}, false)
+	add("app-nw-sb", "Needleman-Wunsch (Rodinia) under Stall-Bypass",
+		config.PolicyStallBypass, nil, conform.WorkloadRef{App: "NW"}, []int{1, 2}, false)
+}

@@ -144,44 +144,85 @@ type Config struct {
 // MaxPD returns the saturation value of the PD/PL field.
 func (c *Config) MaxPD() int { return 1<<c.PDBits - 1 }
 
-// Validate reports the first structural problem with the configuration.
+// Error reports one structurally invalid configuration field. It is a
+// typed error — not a panic in the component constructor — so callers
+// that generate configurations mechanically (the conformance fuzzer,
+// corpus loaders, future RPC frontends) can recognize a rejected
+// geometry and move on instead of tearing down the process.
+type Error struct {
+	Config string // Config.Name
+	Field  string // dotted field path, e.g. "L1D.Ways"
+	Detail string // what a valid value looks like
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("config %q: %s %s", e.Config, e.Field, e.Detail)
+}
+
+// Caps beyond which a geometry is rejected as implausible rather than
+// simulated. They exist for mechanically generated configurations: a
+// fuzzer mutating a field to 1<<40 must get a typed error back, not an
+// allocation the size of the host's RAM.
+const (
+	maxComponentCount = 1 << 12 // SMs, partitions, banks, schedulers
+	maxGeometryDim    = 1 << 20 // sets, ways, MSHRs, queue depths, table entries
+	maxLineSize       = 1 << 12 // bytes per cache line
+)
+
+// Validate reports the first structural problem with the configuration
+// as a typed *Error. Every field a component constructor consumes is
+// covered here, so an engine built from a validated Config never
+// panics on geometry: the dram/interconnect/cache constructors' panic
+// guards are unreachable from this package's callers.
 func (c *Config) Validate() error {
+	pow2 := func(v int) bool { return v > 0 && v&(v-1) == 0 }
 	checks := []struct {
-		ok  bool
-		msg string
+		ok    bool
+		field string
+		msg   string
 	}{
-		{c.NumSMs > 0, "NumSMs must be positive"},
-		{c.WarpSize > 0, "WarpSize must be positive"},
-		{c.MaxWarpsPerSM > 0, "MaxWarpsPerSM must be positive"},
-		{c.SchedulersPerSM > 0, "SchedulersPerSM must be positive"},
-		{c.MaxActiveWarps >= 0, "MaxActiveWarps must be non-negative"},
-		{c.L1D.Sets > 0 && c.L1D.Sets&(c.L1D.Sets-1) == 0, "L1D.Sets must be a power of two"},
-		{c.L1D.Ways > 0, "L1D.Ways must be positive"},
-		{c.L1D.LineSize > 0 && c.L1D.LineSize&(c.L1D.LineSize-1) == 0, "L1D.LineSize must be a power of two"},
-		{c.L1DMSHRs > 0, "L1DMSHRs must be positive"},
-		{c.L1DMSHRMerges > 0, "L1DMSHRMerges must be positive"},
-		{c.L1DMissQueue > 0, "L1DMissQueue must be positive"},
-		{c.NumPartitions > 0, "NumPartitions must be positive"},
-		{c.L2.Sets > 0 && c.L2.Sets&(c.L2.Sets-1) == 0, "L2.Sets must be a power of two"},
-		{c.L2.Ways > 0, "L2.Ways must be positive"},
-		{c.L2.LineSize == c.L1D.LineSize, "L2 line size must match L1D line size"},
-		{c.DRAMBanks > 0, "DRAMBanks must be positive"},
-		{c.CoreClockMHz > 0 && c.ICNTClockMHz > 0 && c.MemClockMHz > 0, "clocks must be positive"},
-		{c.VTAWays > 0, "VTAWays must be positive"},
-		{c.PDPTEntries > 0, "PDPTEntries must be positive"},
-		{c.PDBits > 0 && c.PDBits <= 16, "PDBits must be in 1..16"},
-		{c.SampleAccesses > 0, "SampleAccesses must be positive"},
-		{c.SampleInsnCap > 0, "SampleInsnCap must be positive"},
-		{c.ATAWays > 0, "ATAWays must be positive"},
-		{c.CCWSProtectCycles > 0, "CCWSProtectCycles must be positive"},
-		{c.CCWSProtectAccesses > 0, "CCWSProtectAccesses must be positive"},
-		{c.PredictorDeadPeriods > 0, "PredictorDeadPeriods must be positive"},
-		{c.ICNTBandwidthFlits > 0, "ICNTBandwidthFlits must be positive"},
-		{c.ICNTFlitBytes > 0, "ICNTFlitBytes must be positive"},
+		{c.NumSMs > 0 && c.NumSMs <= maxComponentCount, "NumSMs", "must be in 1..4096"},
+		{c.WarpSize > 0 && c.WarpSize <= 1024, "WarpSize", "must be in 1..1024"},
+		{c.MaxWarpsPerSM > 0 && c.MaxWarpsPerSM <= maxGeometryDim, "MaxWarpsPerSM", "must be positive"},
+		{c.SchedulersPerSM > 0 && c.SchedulersPerSM <= maxComponentCount, "SchedulersPerSM", "must be positive"},
+		{c.MaxActiveWarps >= 0, "MaxActiveWarps", "must be non-negative"},
+		{pow2(c.L1D.Sets) && c.L1D.Sets <= maxGeometryDim, "L1D.Sets", "must be a power of two"},
+		{c.L1D.Ways > 0 && c.L1D.Ways <= maxGeometryDim, "L1D.Ways", "must be positive"},
+		{pow2(c.L1D.LineSize) && c.L1D.LineSize <= maxLineSize, "L1D.LineSize", "must be a power of two"},
+		{c.L1DMSHRs > 0 && c.L1DMSHRs <= maxGeometryDim, "L1DMSHRs", "must be positive"},
+		{c.L1DMSHRMerges > 0 && c.L1DMSHRMerges <= maxGeometryDim, "L1DMSHRMerges", "must be positive"},
+		{c.L1DMissQueue > 0 && c.L1DMissQueue <= maxGeometryDim, "L1DMissQueue", "must be positive"},
+		{c.L1DHitLatency > 0 && c.L1DHitLatency <= maxGeometryDim, "L1DHitLatency", "must be positive"},
+		{c.ICNTLatency >= 0 && c.ICNTLatency <= maxGeometryDim, "ICNTLatency", "must be non-negative"},
+		{c.NumPartitions > 0 && c.NumPartitions <= maxComponentCount, "NumPartitions", "must be positive"},
+		{pow2(c.L2.Sets) && c.L2.Sets <= maxGeometryDim, "L2.Sets", "must be a power of two"},
+		{c.L2.Ways > 0 && c.L2.Ways <= maxGeometryDim, "L2.Ways", "must be positive"},
+		{c.L2.LineSize == c.L1D.LineSize, "L2.LineSize", "must match L1D line size"},
+		{c.L2MSHRs > 0 && c.L2MSHRs <= maxGeometryDim, "L2MSHRs", "must be positive"},
+		{c.L2MissQueue > 0 && c.L2MissQueue <= maxGeometryDim, "L2MissQueue", "must be positive"},
+		{c.L2HitLatency > 0 && c.L2HitLatency <= maxGeometryDim, "L2HitLatency", "must be positive"},
+		{c.DRAMBanks > 0 && c.DRAMBanks <= maxComponentCount, "DRAMBanks", "must be positive"},
+		{c.DRAMRowHit > 0 && c.DRAMRowHit <= maxGeometryDim, "DRAMRowHit", "must be positive"},
+		{c.DRAMRowMiss > 0 && c.DRAMRowMiss <= maxGeometryDim, "DRAMRowMiss", "must be positive"},
+		{c.DRAMBusCycles > 0 && c.DRAMBusCycles <= maxGeometryDim, "DRAMBusCycles", "must be positive"},
+		{c.CoreClockMHz > 0, "CoreClockMHz", "must be positive"},
+		{c.ICNTClockMHz > 0, "ICNTClockMHz", "must be positive"},
+		{c.MemClockMHz > 0, "MemClockMHz", "must be positive"},
+		{c.VTAWays > 0 && c.VTAWays <= maxGeometryDim, "VTAWays", "must be positive"},
+		{c.PDPTEntries > 0 && c.PDPTEntries <= maxGeometryDim, "PDPTEntries", "must be positive"},
+		{c.PDBits > 0 && c.PDBits <= 16, "PDBits", "must be in 1..16"},
+		{c.SampleAccesses > 0, "SampleAccesses", "must be positive"},
+		{c.SampleInsnCap > 0, "SampleInsnCap", "must be positive"},
+		{c.ATAWays > 0 && c.ATAWays <= maxGeometryDim, "ATAWays", "must be positive"},
+		{c.CCWSProtectCycles > 0, "CCWSProtectCycles", "must be positive"},
+		{c.CCWSProtectAccesses > 0, "CCWSProtectAccesses", "must be positive"},
+		{c.PredictorDeadPeriods > 0, "PredictorDeadPeriods", "must be positive"},
+		{c.ICNTBandwidthFlits > 0 && c.ICNTBandwidthFlits <= maxGeometryDim, "ICNTBandwidthFlits", "must be positive"},
+		{c.ICNTFlitBytes > 0 && c.ICNTFlitBytes <= maxLineSize, "ICNTFlitBytes", "must be positive"},
 	}
 	for _, ch := range checks {
 		if !ch.ok {
-			return fmt.Errorf("config %q: %s", c.Name, ch.msg)
+			return &Error{Config: c.Name, Field: ch.field, Detail: ch.msg}
 		}
 	}
 	return nil

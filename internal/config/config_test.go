@@ -1,6 +1,9 @@
 package config
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func TestBaselineMatchesTable1(t *testing.T) {
 	c := Baseline()
@@ -94,6 +97,68 @@ func TestByL1DSize(t *testing.T) {
 	}
 	if _, err := ByL1DSize(48); err == nil {
 		t.Error("ByL1DSize(48) should fail")
+	}
+}
+
+func TestValidateReturnsTypedError(t *testing.T) {
+	c := Baseline()
+	c.L1D.Ways = 0
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("zero-way L1D not rejected")
+	}
+	var ce *Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("Validate returned %T, want *config.Error", err)
+	}
+	if ce.Field != "L1D.Ways" {
+		t.Errorf("Error.Field = %q, want L1D.Ways", ce.Field)
+	}
+	if ce.Config != c.Name {
+		t.Errorf("Error.Config = %q, want %q", ce.Config, c.Name)
+	}
+}
+
+// TestValidateRejectsDegenerateGeometries pins the combinations a
+// config/workload fuzzer generates first: zero-way and zero-set combos,
+// zero protection lifetimes, zero timing parameters, and implausibly
+// huge dimensions. Every one must come back as a typed *Error — never a
+// panic from a component constructor downstream.
+func TestValidateRejectsDegenerateGeometries(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"zero-ways":           func(c *Config) { c.L1D.Ways = 0 },
+		"zero-sets":           func(c *Config) { c.L1D.Sets = 0 },
+		"zero-ways-and-sets":  func(c *Config) { c.L1D.Ways, c.L1D.Sets = 0, 0 },
+		"negative-ways":       func(c *Config) { c.L1D.Ways = -4 },
+		"huge-ways":           func(c *Config) { c.L1D.Ways = 1 << 30 },
+		"huge-sets":           func(c *Config) { c.L1D.Sets = 1 << 30 },
+		"huge-line":           func(c *Config) { c.L1D.LineSize, c.L2.LineSize = 1<<20, 1<<20 },
+		"ccws-zero-cycles":    func(c *Config) { c.CCWSProtectCycles = 0 },
+		"ccws-zero-accesses":  func(c *Config) { c.CCWSProtectAccesses = 0 },
+		"zero-hit-latency":    func(c *Config) { c.L1DHitLatency = 0 },
+		"negative-icnt":       func(c *Config) { c.ICNTLatency = -1 },
+		"zero-l2-mshrs":       func(c *Config) { c.L2MSHRs = 0 },
+		"zero-l2-missqueue":   func(c *Config) { c.L2MissQueue = 0 },
+		"zero-l2-hit-latency": func(c *Config) { c.L2HitLatency = 0 },
+		"zero-dram-rowhit":    func(c *Config) { c.DRAMRowHit = 0 },
+		"zero-dram-rowmiss":   func(c *Config) { c.DRAMRowMiss = 0 },
+		"zero-dram-bus":       func(c *Config) { c.DRAMBusCycles = 0 },
+		"huge-smcount":        func(c *Config) { c.NumSMs = 1 << 20 },
+		"zero-predictor-dead": func(c *Config) { c.PredictorDeadPeriods = 0 },
+		"zero-ata-ways":       func(c *Config) { c.ATAWays = 0 },
+	}
+	for name, mut := range mutations {
+		c := Baseline()
+		mut(c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: not rejected", name)
+			continue
+		}
+		var ce *Error
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: returned %T, want *config.Error", name, err)
+		}
 	}
 }
 

@@ -1,0 +1,147 @@
+package conform
+
+import (
+	"fmt"
+	"strings"
+)
+
+// UnifiedDiff renders a minimal unified diff (3 lines of context)
+// between two small text blobs, for drift reports. It is an exact
+// LCS diff — corpus stats files are a few dozen lines, so quadratic
+// cost is irrelevant — with no external dependency.
+func UnifiedDiff(nameA, nameB string, a, b []byte) string {
+	la := splitLines(string(a))
+	lb := splitLines(string(b))
+
+	// LCS table.
+	n, m := len(la), len(lb)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if la[i] == lb[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+
+	// Walk the table into an edit script.
+	type op struct {
+		kind byte // ' ', '-', '+'
+		text string
+	}
+	var ops []op
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case la[i] == lb[j]:
+			ops = append(ops, op{' ', la[i]})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, op{'-', la[i]})
+			i++
+		default:
+			ops = append(ops, op{'+', lb[j]})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, op{'-', la[i]})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, op{'+', lb[j]})
+	}
+
+	// Group changed ops into hunks with up to `context` common lines on
+	// each side.
+	const context = 3
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s\n", nameA, nameB)
+	k := 0
+	aLine, bLine := 1, 1 // 1-based positions of ops[k] in each input
+	for k < len(ops) {
+		if ops[k].kind == ' ' {
+			aLine++
+			bLine++
+			k++
+			continue
+		}
+		// Hunk start: back up for leading context.
+		start := k
+		lead := 0
+		for start > 0 && lead < context && ops[start-1].kind == ' ' {
+			start--
+			lead++
+		}
+		// Extend through changes, closing the hunk after a run of more
+		// than 2*context common lines (they'd belong to the next hunk).
+		end := k
+		common := 0
+		for end < len(ops) {
+			if ops[end].kind == ' ' {
+				common++
+				if common > 2*context {
+					end -= common - context
+					break
+				}
+			} else {
+				common = 0
+			}
+			end++
+		}
+		if end >= len(ops) && common > context {
+			end = len(ops) - (common - context)
+		}
+
+		hunkA, hunkB := aLine-lead, bLine-lead
+		countA, countB := 0, 0
+		for _, o := range ops[start:end] {
+			switch o.kind {
+			case ' ':
+				countA++
+				countB++
+			case '-':
+				countA++
+			case '+':
+				countB++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", hunkA, countA, hunkB, countB)
+		for _, o := range ops[start:end] {
+			sb.WriteByte(o.kind)
+			sb.WriteString(o.text)
+			sb.WriteByte('\n')
+		}
+		// Advance line counters past the hunk body.
+		for _, o := range ops[k:end] {
+			switch o.kind {
+			case ' ':
+				aLine++
+				bLine++
+			case '-':
+				aLine++
+			case '+':
+				bLine++
+			}
+		}
+		k = end
+	}
+	return sb.String()
+}
+
+// splitLines splits without a trailing phantom element for a final
+// newline.
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

@@ -228,27 +228,26 @@ func (p *Plan) fireCancel() {
 	}
 }
 
-// Disk-cache corruption helpers. Each damages the persisted entry for
-// key under dir the way a specific real-world failure would; the cache
-// must quarantine the file as <key>.json.corrupt and resimulate.
+// File-corruption helpers. Each damages a file the way a specific
+// real-world failure would. The generic forms (CorruptFileDigit,
+// TruncateFile, GarbleFile) work on any path — the conformance corpus
+// tests use them against committed expected_stats.json files — and the
+// Entry forms specialize them to the runner's disk-cache layout, where
+// the cache must quarantine the file as <key>.json.corrupt and
+// resimulate.
 
 // entryPath returns the on-disk path of key's entry.
 func entryPath(dir, key string) string { return filepath.Join(dir, key+".json") }
 
-// CorruptEntry flips payload bytes inside an existing entry, modelling
-// bit-rot: the file remains syntactically valid JSON often enough that
-// only the checksum (or conservation) check can catch it. It fails if
-// no entry exists for key.
-func CorruptEntry(dir, key string) error {
-	path := entryPath(dir, key)
+// CorruptFileDigit replaces the last ASCII digit in the file with a
+// different digit, modelling bit-rot inside a numeric payload: JSON
+// stays parseable, a counter silently changes value, and only a
+// checksum, conservation, or expected-value comparison can notice.
+func CorruptFileDigit(path string) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return fmt.Errorf("faultinject: no cache entry to corrupt: %w", err)
+		return fmt.Errorf("faultinject: no file to corrupt: %w", err)
 	}
-	// Replace the last digit in the file — inside the stats payload,
-	// past the schema and checksum fields — with a different digit: the
-	// JSON stays parseable, a numeric counter silently changes value,
-	// and only the checksum (or conservation) check can notice.
 	for i := len(b) - 1; i >= 0; i-- {
 		if c := b[i]; c >= '0' && c <= '9' {
 			if c == '9' {
@@ -259,19 +258,44 @@ func CorruptEntry(dir, key string) error {
 			return os.WriteFile(path, b, 0o644)
 		}
 	}
-	return fmt.Errorf("faultinject: entry %s has no digit to flip", key)
+	return fmt.Errorf("faultinject: %s has no digit to flip", path)
+}
+
+// TruncateFile cuts the file in half, modelling an interrupted write
+// that dodged atomic-rename protection (e.g. filesystem-level
+// truncation after a crash). Halving a JSON document reliably leaves it
+// unparseable, which is the failure mode readers must classify as
+// corruption rather than a value mismatch.
+func TruncateFile(path string) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("faultinject: no file to truncate: %w", err)
+	}
+	return os.Truncate(path, info.Size()/2)
+}
+
+// GarbleFile overwrites the file with bytes that are not JSON at all,
+// modelling a foreign file landing at the expected path (editor swap
+// files, partial downloads, wrong redirect targets).
+func GarbleFile(path string) error {
+	if _, err := os.Stat(path); err != nil {
+		return fmt.Errorf("faultinject: no file to garble: %w", err)
+	}
+	return os.WriteFile(path, []byte("\x00\xffnot json\x00"), 0o644)
+}
+
+// CorruptEntry flips payload bytes inside an existing cache entry,
+// modelling bit-rot: the file remains syntactically valid JSON often
+// enough that only the checksum (or conservation) check can catch it.
+// It fails if no entry exists for key.
+func CorruptEntry(dir, key string) error {
+	return CorruptFileDigit(entryPath(dir, key))
 }
 
 // TruncateEntry cuts the entry in half, modelling an interrupted write
-// that dodged the atomic-rename protection (e.g. filesystem-level
-// truncation after a crash).
+// that dodged the atomic-rename protection.
 func TruncateEntry(dir, key string) error {
-	path := entryPath(dir, key)
-	info, err := os.Stat(path)
-	if err != nil {
-		return fmt.Errorf("faultinject: no cache entry to truncate: %w", err)
-	}
-	return os.Truncate(path, info.Size()/2)
+	return TruncateFile(entryPath(dir, key))
 }
 
 // StaleSchemaEntry rewrites the entry as a plausible but outdated

@@ -2,8 +2,11 @@ package faultinject
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -404,5 +407,80 @@ func TestPickIndicesDeterministic(t *testing.T) {
 	}
 	if c := NewPlan(5678).PickIndices(5, 36); fmt.Sprint(c) == fmt.Sprint(a) {
 		t.Errorf("different seeds picked identical indices %v", a)
+	}
+}
+
+// TestGenericFileCorruption exercises the path-level corruption
+// helpers the conformance corpus tests build on: digit flips keep JSON
+// parseable but change a value, truncation breaks the document, and
+// garbling replaces it with non-JSON bytes. Missing files error.
+func TestGenericFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "expected_stats.json")
+	orig := []byte("{\n  \"Cycles\": 1234\n}\n")
+
+	write := func() {
+		if err := os.WriteFile(path, orig, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	write()
+	if err := CorruptFileDigit(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) == string(orig) {
+		t.Error("CorruptFileDigit left the file unchanged")
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Errorf("digit-flipped file no longer parses: %v", err)
+	}
+	if m["Cycles"] == float64(1234) {
+		t.Error("digit flip did not change the value")
+	}
+
+	write()
+	if err := TruncateFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = os.ReadFile(path)
+	if len(b) != len(orig)/2 {
+		t.Errorf("TruncateFile left %d bytes, want %d", len(b), len(orig)/2)
+	}
+	if json.Unmarshal(b, &m) == nil {
+		t.Error("truncated JSON still parses — corruption model broken")
+	}
+
+	write()
+	if err := GarbleFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, _ = os.ReadFile(path)
+	if json.Unmarshal(b, &m) == nil {
+		t.Error("garbled file still parses as JSON")
+	}
+
+	missing := filepath.Join(dir, "nope.json")
+	if err := CorruptFileDigit(missing); err == nil {
+		t.Error("CorruptFileDigit on missing file did not error")
+	}
+	if err := TruncateFile(missing); err == nil {
+		t.Error("TruncateFile on missing file did not error")
+	}
+	if err := GarbleFile(missing); err == nil {
+		t.Error("GarbleFile on missing file did not error")
+	}
+
+	// No digits at all: the flip must fail loudly, not silently no-op.
+	if err := os.WriteFile(path, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CorruptFileDigit(path); err == nil {
+		t.Error("CorruptFileDigit with no digit to flip did not error")
 	}
 }

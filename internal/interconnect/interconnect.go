@@ -89,6 +89,7 @@ type direction struct {
 	waiting  []*mem.Request // injection queue, unbounded
 	inFlight packetHeap
 	budget   int // flits remaining this cycle
+	sent     int // flits of the head waiting packet already on the wire
 }
 
 // Network is the crossbar. The engine calls Tick once per ICNT cycle,
@@ -135,19 +136,33 @@ func (n *Network) FlitsFor(req *mem.Request, dir Direction) int {
 
 // Tick advances the network to cycle now, refreshing per-direction
 // bandwidth budgets and injecting waiting packets in FIFO order until the
-// budget runs out.
+// budget runs out. Injection is packet-granular: a packet enters flight
+// in the cycle whose budget covers all its flits at once. The exception
+// is a packet wider than a whole cycle's bandwidth, which can never
+// inject that way: it streams instead, holding the head of the queue and
+// transmitting budget-many flits per cycle until fully on the wire.
+// Without the exception, any bandwidth below the data-packet flit count
+// would strand the packet at the port forever; keeping streaming to that
+// case leaves sub-bandwidth packet timing — and thus every committed
+// golden output — exactly as before.
 func (n *Network) Tick(now uint64) {
 	n.now = now
 	for d := range n.dirs {
 		dir := &n.dirs[d]
 		dir.budget = n.bandwidth
-		for len(dir.waiting) > 0 {
+		for len(dir.waiting) > 0 && dir.budget > 0 {
 			req := dir.waiting[0]
 			flits := n.FlitsFor(req, Direction(d))
-			if flits > dir.budget {
+			remaining := flits - dir.sent
+			if remaining > dir.budget {
+				if flits > n.bandwidth {
+					dir.sent += dir.budget
+					dir.budget = 0
+				}
 				break
 			}
-			dir.budget -= flits
+			dir.budget -= remaining
+			dir.sent = 0
 			n.countFlits(req, flits)
 			n.seq++
 			dir.inFlight.push(packet{req: req, arriveAt: now + n.latency, seq: n.seq})

@@ -84,6 +84,65 @@ func TestBandwidthLimitsInjection(t *testing.T) {
 	}
 }
 
+func TestWidePacketStreamsAcrossCycles(t *testing.T) {
+	// A 5-flit response on a 1-flit/cycle network must stream over five
+	// cycles rather than wait forever (found by fuzzing: configs with
+	// bandwidth below the data-packet size livelocked on the first miss).
+	n, st := newNet(0, 1)
+	r1, r2 := &mem.Request{ID: 1}, &mem.Request{ID: 2}
+	n.Push(ToCore, r1)
+	n.Push(ToCore, r2)
+	for now := uint64(0); now < 4; now++ {
+		n.Tick(now)
+		if got := n.PopArrived(ToCore); got != nil {
+			t.Fatalf("packet delivered at cycle %d before all flits sent", now)
+		}
+	}
+	n.Tick(4) // fifth flit leaves; latency 0 means it arrives now
+	if got := n.PopArrived(ToCore); got != r1 {
+		t.Fatal("r1 not delivered after streaming its flits")
+	}
+	if st.ICNTFlits != 5 {
+		t.Errorf("ICNTFlits = %d, want 5 (r2 not yet injected)", st.ICNTFlits)
+	}
+	// r2 begins streaming only after r1 completes.
+	for now := uint64(5); now < 9; now++ {
+		n.Tick(now)
+		if got := n.PopArrived(ToCore); got != nil {
+			t.Fatalf("r2 delivered early at cycle %d", now)
+		}
+	}
+	n.Tick(9)
+	if got := n.PopArrived(ToCore); got != r2 {
+		t.Fatal("r2 not delivered after streaming its flits")
+	}
+	if st.ICNTFlits != 10 {
+		t.Errorf("ICNTFlits = %d, want 10", st.ICNTFlits)
+	}
+}
+
+func TestStreamingSharesBudgetWithinCycle(t *testing.T) {
+	// Bandwidth 3, latency 0: a 5-flit response streams 3+2 flits over two
+	// cycles, and the leftover budget in the second cycle injects the
+	// following 1-flit packet in the same direction.
+	n, _ := newNet(0, 3)
+	resp := &mem.Request{ID: 1}             // load response: 5 flits
+	ack := &mem.Request{ID: 2, Store: true} // store ack: 1 flit
+	n.Push(ToCore, resp)
+	n.Push(ToCore, ack)
+	n.Tick(0)
+	if got := n.PopArrived(ToCore); got != nil {
+		t.Fatal("response delivered with only 3 of 5 flits sent")
+	}
+	n.Tick(1)
+	if got := n.PopArrived(ToCore); got != resp {
+		t.Fatal("response not delivered once its last flits were sent")
+	}
+	if got := n.PopArrived(ToCore); got != ack {
+		t.Fatal("ack should inject from the second cycle's leftover budget")
+	}
+}
+
 func TestDirectionsIndependent(t *testing.T) {
 	n, _ := newNet(1, 16)
 	req := &mem.Request{ID: 1}

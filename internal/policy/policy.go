@@ -192,9 +192,66 @@ var specs = []Spec{
 	},
 }
 
+// builtinSpecs is the count of compiled-in entries; everything past it
+// arrived through Register and may be Unregister-ed.
+var builtinSpecs = len(specs)
+
 // Specs returns the registry in plotting order. The slice is shared:
 // callers must not mutate it.
 func Specs() []Spec { return specs }
+
+// Register appends an out-of-tree scheme to the registry, making it
+// visible to Lookup, Parse, the CLIs and the engine exactly like a
+// compiled-in entry. This is the policyinit seam: an external file (or
+// a test building a scratch policy) self-registers from its init
+// function. Registration is not synchronized with concurrent readers —
+// call it during process init or test setup, before simulations start.
+// Names and aliases must not collide with existing spellings.
+func Register(sp Spec) error {
+	if sp.Name == "" {
+		return fmt.Errorf("policy: Register with empty name")
+	}
+	if sp.New == nil {
+		return fmt.Errorf("policy: Register %q with nil constructor", sp.Name)
+	}
+	taken := func(s string) bool {
+		for _, ex := range specs {
+			if strings.EqualFold(string(ex.Name), s) {
+				return true
+			}
+			for _, al := range ex.Aliases {
+				if strings.EqualFold(al, s) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if taken(string(sp.Name)) {
+		return fmt.Errorf("policy: %q is already registered", sp.Name)
+	}
+	for _, al := range sp.Aliases {
+		if taken(al) {
+			return fmt.Errorf("policy: alias %q of %q is already registered", al, sp.Name)
+		}
+	}
+	specs = append(specs, sp)
+	return nil
+}
+
+// Unregister removes a previously Register-ed scheme by name. It
+// refuses to remove compiled-in entries, so a test tearing down its
+// scratch policy cannot strip a real one. Returns whether an entry was
+// removed.
+func Unregister(name config.Policy) bool {
+	for i := builtinSpecs; i < len(specs); i++ {
+		if specs[i].Name == name {
+			specs = append(specs[:i], specs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
 
 // All lists every registered policy name, paper schemes first.
 func All() []config.Policy {
@@ -272,14 +329,14 @@ func New(name config.Policy, h *Host) (Policy, error) {
 // absent: every scheme must state its stall-vs-bypass behavior.
 type Base struct{}
 
-func (Base) OnAccess(*mem.Request, int)                        {}
-func (Base) NoteInstructions(uint64)                           {}
-func (Base) Admit(*mem.Request, int) bool                      { return true }
-func (Base) VictimFilter() func(*cache.Line) bool              { return nil }
-func (Base) OnHit(*mem.Request, int, *cache.Line)              {}
-func (Base) OnAllocate(*mem.Request, int)                      {}
-func (Base) OnEvict(int, cache.Line)                           {}
-func (Base) OnReserved(*mem.Request, int, *cache.Line)         {}
-func (Base) OnBypass(*mem.Request, int)                        {}
-func (Base) OnFill(*mem.Request, *cache.Line)                  {}
-func (Base) RegisterMetrics(*metrics.Registry, string)         {}
+func (Base) OnAccess(*mem.Request, int)                {}
+func (Base) NoteInstructions(uint64)                   {}
+func (Base) Admit(*mem.Request, int) bool              { return true }
+func (Base) VictimFilter() func(*cache.Line) bool      { return nil }
+func (Base) OnHit(*mem.Request, int, *cache.Line)      {}
+func (Base) OnAllocate(*mem.Request, int)              {}
+func (Base) OnEvict(int, cache.Line)                   {}
+func (Base) OnReserved(*mem.Request, int, *cache.Line) {}
+func (Base) OnBypass(*mem.Request, int)                {}
+func (Base) OnFill(*mem.Request, *cache.Line)          {}
+func (Base) RegisterMetrics(*metrics.Registry, string) {}

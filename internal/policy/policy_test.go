@@ -310,3 +310,65 @@ func TestReusePredictorDeadAndResurrect(t *testing.T) {
 		t.Fatal("instruction with steady TDA reuse was predicted dead")
 	}
 }
+
+// TestRegisterUnregister exercises the out-of-tree registration seam:
+// a registered scratch scheme is visible through every lookup path, a
+// name or alias collision is rejected, and Unregister removes scratch
+// entries but never compiled-in ones.
+func TestRegisterUnregister(t *testing.T) {
+	scratch := Spec{
+		Name:    config.Policy("Scratch-Test"),
+		Aliases: []string{"scratch"},
+		Cite:    "test-only",
+		New:     func(h *Host) Policy { return &baseline{h: h} },
+	}
+	if err := Register(scratch); err != nil {
+		t.Fatal(err)
+	}
+	defer Unregister(scratch.Name)
+
+	if _, ok := Lookup(scratch.Name); !ok {
+		t.Error("registered policy not found by Lookup")
+	}
+	if got, err := Parse("scratch"); err != nil || got != scratch.Name {
+		t.Errorf("Parse(alias) = %q, %v", got, err)
+	}
+	found := false
+	for _, name := range All() {
+		if name == scratch.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered policy missing from All()")
+	}
+	for _, name := range Paper() {
+		if name == scratch.Name {
+			t.Error("scratch policy leaked into Paper()")
+		}
+	}
+
+	if err := Register(scratch); err == nil {
+		t.Error("duplicate Register not rejected")
+	}
+	if err := Register(Spec{Name: "Other", Aliases: []string{"scratch"},
+		New: scratch.New}); err == nil {
+		t.Error("alias collision not rejected")
+	}
+	if err := Register(Spec{Name: "NoCtor"}); err == nil {
+		t.Error("nil constructor not rejected")
+	}
+
+	if !Unregister(scratch.Name) {
+		t.Error("Unregister did not find the scratch policy")
+	}
+	if _, ok := Lookup(scratch.Name); ok {
+		t.Error("policy still visible after Unregister")
+	}
+	if Unregister(config.PolicyDLP) {
+		t.Error("Unregister removed a compiled-in policy")
+	}
+	if _, ok := Lookup(config.PolicyDLP); !ok {
+		t.Error("DLP vanished")
+	}
+}

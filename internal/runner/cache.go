@@ -18,9 +18,11 @@ import (
 // configuration, the policy, the canonicalized engine options, and the
 // serialized kernel trace. Two jobs with equal Key produce identical
 // Stats (the engine is deterministic), which is what makes result reuse
-// sound. Labels, wall-clock budgets (MaxWall) and self-checking
-// (Opts.SelfCheck) are excluded: they are presentation and execution
-// policy, not simulation input.
+// sound. Labels, wall-clock budgets (MaxWall), self-checking
+// (Opts.SelfCheck), phase parallelism (Opts.Cores) and fast-forward
+// disabling (Opts.DisableFastForward) are excluded: they are
+// presentation and execution policy, not simulation input — results
+// are bit-identical at every setting.
 //
 // A job whose kernel cannot be serialized has no content address; Key
 // returns "" and the runner treats the job as uncacheable rather than

@@ -53,6 +53,15 @@ type Options struct {
 	// Cores, like SelfCheck, is excluded from the runner's cache key.
 	// Values beyond the component count are clamped.
 	Cores int
+	// DisableFastForward forces the run loop to step every cycle
+	// instead of jumping over provably idle windows. Fast-forwarding is
+	// unobservable by construction, so results are bit-identical either
+	// way — which is exactly what the conformance corpus and the
+	// differential fuzzer re-prove on every geometry they visit by
+	// running a ff-disabled engine against the default one. Like
+	// SelfCheck and Cores it is execution policy, not simulation input,
+	// and is excluded from the runner's cache key.
+	DisableFastForward bool
 	// PhaseHook, when non-nil, is called by every shard (the
 	// coordinator is shard 0) at the top of each component phase with
 	// the shard's worker index and the current cycle. It is a test and
@@ -175,10 +184,11 @@ func New(cfg *config.Config, policy config.Policy, opts Options) (*Engine, error
 	}
 	opts = opts.withDefaults()
 	e := &Engine{
-		cfg:    cfg,
-		policy: policy,
-		opts:   opts,
-		netSt:  &stats.Stats{},
+		cfg:                cfg,
+		policy:             policy,
+		opts:               opts,
+		netSt:              &stats.Stats{},
+		disableFastForward: opts.DisableFastForward,
 	}
 	e.putHome = func(r *mem.Request) { e.pools[r.SM].Put(r) }
 	e.pools = make([]*mem.Pool, cfg.NumSMs)
@@ -219,6 +229,13 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 		return nil, err
 	}
 	for i, b := range k.Blocks {
+		if len(b.Warps) > e.cfg.MaxWarpsPerSM {
+			return nil, &LaunchError{Kernel: k.Name, Detail: fmt.Sprintf(
+				"block %d has %d warps but an SM holds at most %d resident",
+				i, len(b.Warps), e.cfg.MaxWarpsPerSM)}
+		}
+	}
+	for i, b := range k.Blocks {
 		e.sms[i%len(e.sms)].AssignBlock(b)
 	}
 
@@ -236,6 +253,7 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 	}
 
 	var cycle uint64
+	lastActive := uint64(0) // most recent cycle that did any work
 	for cycle = 1; cycle <= e.opts.MaxCycles; cycle++ {
 		if cycle&4095 == 0 {
 			select {
@@ -246,6 +264,9 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 			}
 		}
 		active := e.step(cycle)
+		if active {
+			lastActive = cycle
+		}
 		// Sampled self-checking: cheap enough to leave on for whole
 		// suites (one sweep every selfCheckPeriod cycles) while still
 		// catching a corrupted-state bug within ~2k cycles of its
@@ -265,8 +286,16 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 		if e.mreg != nil && cycle%e.mevery == 0 {
 			e.emitSample(cycle)
 		}
-		if cycle%32 == 0 && e.quiescent() {
-			break
+		if cycle%32 == 0 {
+			if e.quiescent() {
+				break
+			}
+			// Wedge detection piggybacks on the quiescence boundary: work
+			// outstanding but nothing has happened for a whole window —
+			// a dropped wakeup, not a long latency (see DeadlockError).
+			if cycle-lastActive >= deadlockWindow {
+				return nil, &DeadlockError{Kernel: k.Name, Cycle: cycle, Idle: cycle - lastActive}
+			}
 		}
 		// Fast-forward: when this cycle did no work, every following
 		// cycle up to the machine's next scheduled event is provably
@@ -295,8 +324,7 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 	}
 	if cycle > e.opts.MaxCycles {
 		if !e.quiescent() {
-			return nil, fmt.Errorf("sim: kernel %q did not finish within %d cycles",
-				k.Name, e.opts.MaxCycles)
+			return nil, &CycleLimitError{Kernel: k.Name, MaxCycles: e.opts.MaxCycles}
 		}
 	}
 
@@ -322,6 +350,63 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 		return nil, err
 	}
 	return total, nil
+}
+
+// CycleLimitError reports a kernel that was still making progress when
+// it ran out of its MaxCycles budget. It is typed so mechanized
+// callers (the conformance fuzzer) can tell "this configuration is too
+// slow for the budget" — a property of the input, to be skipped or
+// re-run with a larger budget — from an engine failure. A wedged
+// engine does NOT produce this error: no-progress cycles trip the
+// quiescence check or the wall-clock deadline instead.
+type CycleLimitError struct {
+	Kernel    string
+	MaxCycles uint64
+}
+
+func (e *CycleLimitError) Error() string {
+	return fmt.Sprintf("sim: kernel %q did not finish within %d cycles", e.Kernel, e.MaxCycles)
+}
+
+// DeadlockError reports a wedged machine: warps or requests still
+// outstanding, but no component has done any work for deadlockWindow
+// consecutive cycles. Every latency in the simulated machine — DRAM,
+// queues, protection lifetimes, sampling windows — is orders of
+// magnitude below the window, so a gap this long can only mean a
+// dropped wakeup or an unservable request, never a slow configuration
+// (contrast CycleLimitError). The fuzzer classifies this as a hang
+// without waiting for the wall-clock deadline.
+type DeadlockError struct {
+	Kernel string
+	Cycle  uint64 // cycle at which the deadlock was declared
+	Idle   uint64 // consecutive cycles with no activity
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: kernel %q deadlocked: no activity for %d cycles (at cycle %d) with work outstanding",
+		e.Kernel, e.Idle, e.Cycle)
+}
+
+// deadlockWindow is how many consecutive no-op cycles the run loop
+// tolerates before declaring the machine wedged. The longest
+// legitimate quiet stretch is a full DRAM round trip behind every
+// queue in the machine — thousands of cycles — so 2^20 leaves three
+// orders of magnitude of slack.
+const deadlockWindow uint64 = 1 << 20
+
+// LaunchError reports a kernel that cannot run on the configured
+// machine — e.g. a thread block with more warps than one SM can hold
+// resident. Real hardware rejects such launches synchronously; without
+// this check the block would sit unadmitted forever and the run would
+// wedge (the SM deliberately never splits a block, see
+// internal/sm TestOversizedBlockNeverAdmitted).
+type LaunchError struct {
+	Kernel string
+	Detail string
+}
+
+func (e *LaunchError) Error() string {
+	return fmt.Sprintf("sim: kernel %q cannot launch: %s", e.Kernel, e.Detail)
 }
 
 // selfCheckPeriod is the sampling interval (in core cycles) of the

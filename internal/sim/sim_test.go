@@ -101,6 +101,29 @@ func TestCycleLimitEnforced(t *testing.T) {
 	if err == nil {
 		t.Error("runaway kernel not reported")
 	}
+	var cl *CycleLimitError
+	if !errors.As(err, &cl) {
+		t.Errorf("cycle-budget overrun not typed: %v", err)
+	} else if cl.MaxCycles != 50 {
+		t.Errorf("CycleLimitError.MaxCycles = %d, want 50", cl.MaxCycles)
+	}
+}
+
+func TestOversizedBlockRejectedAtLaunch(t *testing.T) {
+	// A block with more warps than one SM's residency limit can never be
+	// scheduled; launching it used to wedge the machine forever (found by
+	// the differential fuzzer). It must fail fast with a typed error.
+	cfg := config.Baseline()
+	cfg.MaxWarpsPerSM = 2
+	k := streamKernel("oversized", 1, 3, 2, 1)
+	_, err := RunOnce(context.Background(), cfg, config.PolicyBaseline, k, Options{})
+	var le *LaunchError
+	if !errors.As(err, &le) {
+		t.Fatalf("oversized block not rejected with LaunchError: %v", err)
+	}
+	if le.Kernel != "oversized" {
+		t.Errorf("LaunchError.Kernel = %q", le.Kernel)
+	}
 }
 
 func TestBlocksDistributedAcrossSMs(t *testing.T) {
