@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test faultcheck conform fuzzsmoke figures bench benchgate clean
+.PHONY: all build vet check test faultcheck conform fuzzsmoke streamsmoke figures bench benchgate clean
 
 all: build
 
@@ -46,24 +46,41 @@ fuzzsmoke: build
 test: build vet
 	$(GO) test ./...
 
+# Streamed-frontend smoke: record a 10x-scaled trace with dlptrace,
+# verify its digest and replayability, replay it through dlpsim with
+# the observability exports on, lint those exports, and re-run the
+# streamed conformance cases (streamed variants must match the eager
+# serial reference byte for byte).
+streamsmoke: build
+	$(GO) run ./cmd/dlptrace record -app SC -scale 10 -o /tmp/streamsmoke.dlpstrm
+	$(GO) run ./cmd/dlptrace verify /tmp/streamsmoke.dlpstrm
+	$(GO) run ./cmd/dlpsim -stream-file /tmp/streamsmoke.dlpstrm -policy dlp \
+		-metrics /tmp/streamsmoke_metrics.jsonl -trace /tmp/streamsmoke_trace.json
+	$(GO) run ./cmd/metriclint -metrics /tmp/streamsmoke_metrics.jsonl -trace /tmp/streamsmoke_trace.json
+	$(GO) run ./cmd/conform -run 'stream-*'
+
 # Regenerate the tracked performance baseline: every benchmark (with
 # allocation reporting baked into the benchmarks themselves) plus one
 # serial RunSuite(PaperSchemes()) wall-clock pass, distilled into
-# BENCH_PR4.json by cmd/benchjson. `make benchgate` re-measures just the
-# suite wall pass and fails when it regressed >15% against the
-# committed baseline — the same gate CI runs.
+# BENCH_PR8.json by cmd/benchjson — and, via -ledger, into the per-host
+# baseline BENCH_<fingerprint>.json so this machine class hard-gates
+# wall time from now on. `make benchgate` re-measures just the suite
+# wall pass and fails when it regressed >15% against the committed
+# baseline — the same gate CI runs.
 bench: build
-	$(GO) test -run '^$$' -bench . -timeout 60m . ./internal/sm/ | $(GO) run ./cmd/benchjson -o BENCH_PR4.json
+	$(GO) test -run '^$$' -bench . -timeout 60m . ./internal/sm/ | $(GO) run ./cmd/benchjson -o BENCH_PR8.json -ledger .
 
 # The gate measures the wall headline (one 1x pass) plus the zero-alloc
-# hot-path benchmarks (enough iterations to amortize warm-up): wall time
-# is gated only when the host fingerprint matches the baseline's,
-# allocs/op (deterministic per binary) gate everywhere.
+# hot-path benchmarks (enough iterations to amortize warm-up), the
+# streamed issue path included: wall time gates unconditionally against
+# this host class's ledger entry when one is committed, else only when
+# the flat baseline's fingerprint matches; allocs/op (deterministic per
+# binary) gate everywhere.
 benchgate: build
 	$(GO) test -run '^$$' -bench 'BenchmarkSuitePaperWall' -benchtime 1x -timeout 30m . > /tmp/bench_fresh.txt
 	$(GO) test -run '^$$' -bench 'BenchmarkL1DAccess|BenchmarkPDPTSample|BenchmarkIssueStorePath' -benchtime 10000x -timeout 30m . ./internal/sm/ >> /tmp/bench_fresh.txt
 	$(GO) run ./cmd/benchjson -o /tmp/bench_fresh.json < /tmp/bench_fresh.txt
-	$(GO) run ./cmd/benchgate -baseline BENCH_PR4.json -fresh /tmp/bench_fresh.json -max-regress-pct 15
+	$(GO) run ./cmd/benchgate -baselines . -baseline BENCH_PR8.json -fresh /tmp/bench_fresh.json -max-regress-pct 15
 
 # Regenerate the committed reference outputs.
 figures:

@@ -68,6 +68,23 @@ func BenchmarkTable2Workloads(b *testing.B) {
 	}
 }
 
+// BenchmarkTable2WorkloadsStream is the streamed counterpart of
+// BenchmarkTable2Workloads: suite startup with the lazy frontend
+// builds one stream per Table 2 application (a shape pass over the
+// grid, no instruction materialization), which is what RunSuite with
+// SuiteOptions.Stream pays before the SMs start pulling chunks.
+func BenchmarkTable2WorkloadsStream(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, w := range Workloads() {
+			src := w.Stream(1)
+			if src.Blocks() == 0 {
+				b.Fatal("empty stream")
+			}
+		}
+	}
+}
+
 // BenchmarkFig3RDD regenerates the program-level reuse-distance
 // distributions of all 18 applications.
 func BenchmarkFig3RDD(b *testing.B) {

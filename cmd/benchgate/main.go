@@ -6,13 +6,17 @@
 // it with cmd/benchjson, and hands both documents here.
 //
 // Wall time only compares meaningfully within one machine class, so
-// the gate checks the baseline's host fingerprint ({num_cpu,
-// gomaxprocs, goarch}, stamped by cmd/benchjson) against the fresh
-// document's before enforcing it: on a mismatch — including baselines
-// recorded before the fingerprint existed — the wall gate is skipped
-// with a warning instead of failing (or silently under-gating) on a
-// differently-sized runner. The allocs/op columns are deterministic
-// per binary, so they gate on every host regardless.
+// the preferred mode is the per-host baseline ledger: -baselines DIR
+// names a directory of BENCH_<fingerprint>.json documents (recorded by
+// `make bench` via benchjson -ledger), benchgate picks the entry whose
+// fingerprint ({num_cpu, gomaxprocs, goarch}) matches the gating host,
+// and the wall gate is then enforced unconditionally — same machine
+// class by construction, nothing to warn-skip. Only when the ledger
+// has no entry for this class does the gate fall back to the flat
+// -baseline document and the old behavior: the wall gate runs when
+// that document's fingerprint matches and is skipped with a warning
+// otherwise. The allocs/op columns are deterministic per binary, so
+// they gate on every host in every mode.
 //
 // Individual micro-benchmark ns/op are printed side by side for the
 // log but never gated: at smoke iteration counts (and across
@@ -22,12 +26,14 @@
 //
 // Usage:
 //
-//	benchgate -baseline BENCH_PR4.json -fresh /tmp/bench_fresh.json -max-regress-pct 15
+//	benchgate -baselines . -baseline BENCH_PR8.json -fresh /tmp/bench_fresh.json -max-regress-pct 15
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 
 	"repro/internal/benchfmt"
@@ -36,7 +42,8 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchgate: ")
-	basePath := flag.String("baseline", "BENCH_PR4.json", "committed baseline document")
+	basePath := flag.String("baseline", "BENCH_PR8.json", "committed baseline document (fallback when -baselines has no entry for this host)")
+	ledgerDir := flag.String("baselines", "", "per-host baseline ledger directory (BENCH_<fingerprint>.json files)")
 	freshPath := flag.String("fresh", "", "fresh measurement to gate (required)")
 	maxPct := flag.Float64("max-regress-pct", 15, "maximum allowed suite-wall regression in percent")
 	flag.Parse()
@@ -44,13 +51,44 @@ func main() {
 		log.Fatal("-fresh is required")
 	}
 
-	base, err := benchfmt.ReadFile(*basePath)
-	if err != nil {
-		log.Fatal(err)
-	}
 	fresh, err := benchfmt.ReadFile(*freshPath)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// The fresh document's own fingerprint stands in for "this host":
+	// benchjson stamps it at measurement time on the same machine that
+	// is now running the gate.
+	freshHost := fresh.Host
+	if freshHost == nil {
+		freshHost = benchfmt.CurrentHost()
+	}
+
+	// With a ledger, the entry matching this host class is the
+	// baseline, and the wall gate is unconditional — same class by
+	// construction, so there is nothing to warn-skip. The flat
+	// -baseline document is only consulted when this class has no
+	// committed entry yet.
+	var base *benchfmt.Baseline
+	hostGated := false
+	if *ledgerDir != "" {
+		b, path, err := benchfmt.FindBaseline(*ledgerDir, freshHost)
+		switch {
+		case err == nil:
+			base, hostGated = b, true
+			fmt.Printf("gating against ledger entry %s (%s)\n", path, freshHost)
+		case errors.Is(err, fs.ErrNotExist):
+			fmt.Printf("benchgate: no ledger entry for this host class (%s); "+
+				"falling back to %s — run `make bench` and commit %s to hard-gate here\n",
+				freshHost, *basePath, path)
+		default:
+			log.Fatal(err)
+		}
+	}
+	if base == nil {
+		base, err = benchfmt.ReadFile(*basePath)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Printf("suite wall: baseline %.1fs, fresh %.1fs (%+.1f%%)\n",
@@ -74,14 +112,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The fresh document's own fingerprint stands in for "this host":
-	// benchjson stamps it at measurement time on the same machine that
-	// is now running the gate.
-	freshHost := fresh.Host
-	if freshHost == nil {
-		freshHost = benchfmt.CurrentHost()
-	}
-	if !benchfmt.HostMatches(base.Host, freshHost) {
+	if !hostGated && !benchfmt.HostMatches(base.Host, freshHost) {
 		fmt.Printf("benchgate: WARNING: host fingerprint mismatch (baseline: %s; this host: %s); "+
 			"skipping the wall-time gate, allocs/op still enforced\n", base.Host, freshHost)
 		fmt.Println("benchgate: OK (allocs only)")

@@ -6,7 +6,19 @@
 //	dlpsim -app CFD -policy dlp
 //	dlpsim -app BFS -policy baseline -size 32
 //	dlpsim -app HG -cores 8
+//	dlpsim -app SC -stream -scale 100
+//	dlpsim -app SC,BP,BFS -stream
+//	dlpsim -stream-file sc.dlpstrm -policy dlp
 //	dlpsim -list
+//
+// -stream feeds the workload to the SMs lazily through the chunked
+// stream frontend instead of materializing the whole trace up front;
+// counters are bit-identical to the eager path while peak memory stays
+// bounded by the chunk pool. -scale N multiplies the grid and footprint
+// (use with -stream for scales that would not fit materialized), a
+// comma-separated -app list runs the kernels back to back as one
+// multi-kernel stream, and -stream-file replays a chunked trace
+// recorded with dlptrace.
 //
 // -cores N ticks the SMs and L2 partitions of the single simulation on
 // N phase-parallel shards, cutting wall time on multi-core hosts; the
@@ -64,9 +76,21 @@ func main() {
 	metricsPath := flag.String("metrics", "", "stream cycle-domain counter samples (JSONL) to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
 	metricsEvery := flag.Uint64("metrics-every", 0, "sampling period in cycles for -metrics; 0 = default (4096)")
+	streamMode := flag.Bool("stream", false, "feed the kernel lazily through the chunked stream frontend instead of materializing it")
+	streamFile := flag.String("stream-file", "", "replay a chunked trace file recorded with dlptrace instead of -app")
+	scale := flag.Int("scale", 1, "workload scale factor (blocks and footprint); >1 implies larger grids")
 	flag.Parse()
 	if *cores < 1 {
 		log.Fatalf("-cores %d: must be >= 1", *cores)
+	}
+	if *scale < 1 {
+		log.Fatalf("-scale %d: must be >= 1", *scale)
+	}
+	if *streamFile != "" {
+		*streamMode = true
+		if *kernelFile != "" {
+			log.Fatal("-stream-file and -kernel are mutually exclusive")
+		}
 	}
 
 	if *list {
@@ -88,9 +112,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var kernel *trace.Kernel
-	name, class := "", ""
-	if *kernelFile != "" {
+	var (
+		kernel *trace.Kernel
+		stream trace.Stream
+	)
+	name, class, runName := "", "", ""
+	switch {
+	case *streamFile != "":
+		fs, err := trace.Open(*streamFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fs.Close()
+		stream = fs
+		name, class, runName = fs.Name(), "replay", fs.Name()
+	case *kernelFile != "":
 		f, err := os.Open(*kernelFile)
 		if err != nil {
 			log.Fatal(err)
@@ -100,17 +136,44 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		name, class = kernel.Name, "custom"
-	} else {
+		name, class, runName = kernel.Name, "custom", kernel.Name
+	case strings.Contains(*app, ","):
+		// Multi-kernel grid: back-to-back registry apps as one stream.
+		if !*streamMode {
+			log.Fatal("a comma-separated -app list needs -stream")
+		}
+		abbrs := strings.Split(strings.ToUpper(*app), ",")
+		subs := make([]trace.Stream, len(abbrs))
+		for i, a := range abbrs {
+			spec, err := workloads.ByAbbr(strings.TrimSpace(a))
+			if err != nil {
+				log.Fatal(err)
+			}
+			subs[i] = spec.Stream(*scale)
+		}
+		runName = strings.Join(abbrs, "+")
+		stream = trace.NewMultiStream(runName, subs...)
+		name, class = runName, "multi"
+	default:
 		spec, err := workloads.ByAbbr(strings.ToUpper(*app))
 		if err != nil {
 			log.Fatal(err)
 		}
-		kernel = spec.Generate()
+		if *streamMode {
+			stream = spec.Stream(*scale)
+		} else if *scale > 1 {
+			kernel = spec.ScaledKernel(*scale)
+		} else {
+			kernel = spec.Generate()
+		}
 		name, class = spec.Name, spec.Class.String()
+		runName = spec.Abbr
 	}
 
 	if *dump != "" {
+		if kernel == nil {
+			log.Fatal("-dump needs a materialized kernel; use dlptrace record for streams")
+		}
 		f, err := os.Create(*dump)
 		if err != nil {
 			log.Fatal(err)
@@ -144,10 +207,11 @@ func main() {
 	// -cores is set explicitly on the job (not via Runner.Cores), so a
 	// single run uses exactly what was asked for, GOMAXPROCS cap or no.
 	results, err := r.Run(ctx, []runner.Job{{
-		Label:  fmt.Sprintf("%s under %s", kernel.Name, pol),
+		Label:  fmt.Sprintf("%s under %s", runName, pol),
 		Config: cfg,
 		Policy: pol,
 		Kernel: kernel,
+		Stream: stream,
 		Opts:   sim.Options{Cores: *cores},
 	}})
 	if err != nil {
@@ -166,7 +230,7 @@ func main() {
 			IPC      float64      `json:"ipc"`
 			HitRate  float64      `json:"l1d_hit_rate"`
 			Counters *stats.Stats `json:"counters"`
-		}{kernel.Name, class, cfg.Name, pol.String(), st.IPC(), st.L1DHitRate(), st}
+		}{runName, class, cfg.Name, pol.String(), st.IPC(), st.L1DHitRate(), st}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -174,6 +238,6 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("%s (%s, %s) on %s under %s\n", kernel.Name, name, class, cfg.Name, pol)
+	fmt.Printf("%s (%s, %s) on %s under %s\n", runName, name, class, cfg.Name, pol)
 	fmt.Println(st)
 }

@@ -38,6 +38,13 @@
 // application subset (labels as in Table 2) for quick looks and CI
 // smokes; the committed reference outputs always use the full set.
 //
+// -stream feeds the suites through the lazy chunked stream frontend:
+// every table stays byte-identical while suite startup skips kernel
+// materialization. -scale N multiplies each application's grid and
+// footprint (tables then diverge from the committed references by
+// design); at large scales pair it with -stream so memory stays
+// bounded by the per-SM chunk pools.
+//
 // Experiment ids: table2, overhead, fig3, fig4, fig5, fig6, fig7,
 // fig10, fig11a, fig11b, fig12a, fig12b, fig13. The extra id
 // "policies" — a cross-policy comparison including the schemes beyond
@@ -134,7 +141,12 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
 	metricsEvery := flag.Uint64("metrics-every", 0, "sampling period in cycles for -metrics; 0 = default (4096)")
 	appsFlag := flag.String("apps", "", "comma-separated application subset for the simulation suites (default: all 18)")
+	streamFlag := flag.Bool("stream", false, "feed workloads through the lazy chunked stream frontend (bit-identical tables, lower startup memory)")
+	scaleFlag := flag.Int("scale", 1, "workload scale factor for the simulation suites; >1 diverges from the committed reference outputs")
 	flag.Parse()
+	if *scaleFlag < 1 {
+		log.Fatalf("-scale %d: must be >= 1", *scaleFlag)
+	}
 	useCSV := strings.EqualFold(*format, "csv")
 
 	check(prof.Start(*cpuProfile, *memProfile))
@@ -206,6 +218,9 @@ func main() {
 
 		Metrics:      obs.Sink(),
 		MetricsEvery: *metricsEvery,
+
+		Stream: *streamFlag,
+		Scale:  *scaleFlag,
 	}
 
 	// In -keep-going mode a suite may come back partial: usable tables

@@ -14,6 +14,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/runner"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -124,6 +125,17 @@ type SuiteOptions struct {
 	// MetricsEvery overrides the sampling period in cycles; 0 means
 	// the default (metrics.DefaultEvery).
 	MetricsEvery uint64
+	// Stream feeds every application through the lazy chunked stream
+	// frontend (workloads.Spec.Stream) instead of the process-shared
+	// precomputed kernel. Counters are bit-identical either way; what
+	// changes is startup cost — no kernel is materialized, so suite
+	// setup allocations and peak memory drop.
+	Stream bool
+	// Scale multiplies each application's grid and shared footprint
+	// (workloads.Spec.Stream / ScaledKernel); <= 1 is the paper's
+	// Table 2 size. Large scales pair naturally with Stream, which
+	// keeps memory bounded by the chunk pool regardless of Scale.
+	Scale int
 }
 
 // RunSuite simulates every application under every scheme on a parallel
@@ -156,15 +168,31 @@ func RunSuite(ctx context.Context, schemes []Scheme, opts *SuiteOptions) (*Suite
 
 	jobs := make([]runner.Job, 0, len(apps)*len(schemes))
 	for _, spec := range apps {
-		// One kernel shared by every scheme's job — and, via the
-		// process-wide cache, by every other suite in the process.
-		k := spec.SharedKernel(cfgs[0].L1D.LineSize)
+		var (
+			k   *trace.Kernel
+			src trace.Stream
+		)
+		switch {
+		case opts.Stream:
+			// One stream shared by every scheme's job: Fill is
+			// per-(block, warp) and SMs hold their own cursors, so
+			// concurrent jobs can draw from the same source.
+			src = spec.Stream(opts.Scale)
+		case opts.Scale > 1:
+			k = spec.ScaledKernel(opts.Scale)
+			k.PrecomputeCoalesced(cfgs[0].L1D.LineSize)
+		default:
+			// One kernel shared by every scheme's job — and, via the
+			// process-wide cache, by every other suite in the process.
+			k = spec.SharedKernel(cfgs[0].L1D.LineSize)
+		}
 		for si, sc := range schemes {
 			jobs = append(jobs, runner.Job{
 				Label:  spec.Abbr + " under " + sc.Name,
 				Config: cfgs[si],
 				Policy: sc.Policy,
 				Kernel: k,
+				Stream: src,
 			})
 		}
 	}

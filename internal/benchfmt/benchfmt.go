@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"strconv"
@@ -46,6 +47,43 @@ func (h *Host) String() string {
 		return "unrecorded"
 	}
 	return fmt.Sprintf("%d cpus, GOMAXPROCS %d, %s", h.NumCPU, h.GOMAXPROCS, h.GOARCH)
+}
+
+// Fingerprint returns a short filename-safe slug for the machine
+// class, e.g. "amd64-16c16p". The per-host baseline ledger names its
+// files after it (see BaselineFile), so each class gates against
+// numbers measured on its own kind of machine.
+func (h *Host) Fingerprint() string {
+	if h == nil {
+		return "unrecorded"
+	}
+	return fmt.Sprintf("%s-%dc%dp", h.GOARCH, h.NumCPU, h.GOMAXPROCS)
+}
+
+// BaselineFile returns the ledger path for the host class:
+// dir/BENCH_<fingerprint>.json.
+func BaselineFile(dir string, h *Host) string {
+	return filepath.Join(dir, "BENCH_"+h.Fingerprint()+".json")
+}
+
+// FindBaseline loads the committed ledger entry matching h from dir
+// and returns it with its path. A missing entry reports fs.ErrNotExist
+// (test with errors.Is) so callers can tell "this host class has no
+// committed baseline yet" from a damaged document; an entry whose
+// recorded fingerprint disagrees with its own filename is an error —
+// someone copied a baseline across machine classes, which is exactly
+// what the ledger exists to prevent.
+func FindBaseline(dir string, h *Host) (*Baseline, string, error) {
+	path := BaselineFile(dir, h)
+	b, err := ReadFile(path)
+	if err != nil {
+		return nil, path, err
+	}
+	if !HostMatches(b.Host, h) {
+		return nil, path, fmt.Errorf("benchfmt: %s was recorded on %s, not on this host class (%s); re-run `make bench` here",
+			path, b.Host, h)
+	}
+	return b, path, nil
 }
 
 // HostMatches reports whether two fingerprints describe the same

@@ -1,6 +1,8 @@
 package benchfmt
 
 import (
+	"errors"
+	"io/fs"
 	"os"
 	"strings"
 	"testing"
@@ -180,5 +182,53 @@ func TestCheckWall(t *testing.T) {
 	}
 	if err := CheckWall(base, &Baseline{}, 15); err == nil {
 		t.Error("fresh measurement without a wall number passed the gate")
+	}
+}
+
+func TestLedgerFindBaseline(t *testing.T) {
+	dir := t.TempDir()
+	h := &Host{NumCPU: 16, GOMAXPROCS: 16, GOARCH: "amd64"}
+	if fp := h.Fingerprint(); fp != "amd64-16c16p" {
+		t.Fatalf("Fingerprint() = %q", fp)
+	}
+	if fp := (*Host)(nil).Fingerprint(); fp != "unrecorded" {
+		t.Errorf("nil Fingerprint() = %q", fp)
+	}
+
+	// No entry for this class yet: the miss must be distinguishable
+	// (fs.ErrNotExist) so the gate can fall back instead of failing.
+	if _, path, err := FindBaseline(dir, h); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing entry: err = %v (path %s), want fs.ErrNotExist", err, path)
+	}
+
+	doc := &Baseline{SuiteWallSeconds: 42, Benchmarks: []Result{{Name: "BenchmarkHot"}}, Host: h}
+	enc, err := doc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(BaselineFile(dir, h), enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, path, err := FindBaseline(dir, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(path, "BENCH_amd64-16c16p.json") {
+		t.Errorf("ledger path = %s", path)
+	}
+	if got.SuiteWallSeconds != 42 || !HostMatches(got.Host, h) {
+		t.Errorf("loaded entry = %+v", got)
+	}
+
+	// A document copied across machine classes (recorded fingerprint
+	// disagrees with the filename's) must be an error, not a silent
+	// wall gate against foreign numbers.
+	other := *h
+	other.NumCPU = 4
+	if err := os.WriteFile(BaselineFile(dir, &other), enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := FindBaseline(dir, &other); err == nil || errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("cross-class copy: err = %v, want a fingerprint mismatch error", err)
 	}
 }

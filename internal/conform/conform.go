@@ -60,9 +60,13 @@ const (
 
 // WorkloadRef names a case's kernel: exactly one of App (a registry
 // application's figure label) or Synth (a seeded synthetic spec).
+// Scale, when > 1, multiplies the workload's grid (registry apps scale
+// their block count and shared footprints; synth specs scale blocks
+// and footprint lines).
 type WorkloadRef struct {
 	App   string               `json:"app,omitempty"`
 	Synth *workloads.SynthSpec `json:"synth,omitempty"`
+	Scale int                  `json:"scale,omitempty"`
 }
 
 // Spec is a case's config.json.
@@ -90,6 +94,12 @@ type Spec struct {
 	// (same core count as the reference), proving the skipped windows
 	// carried no observable work on this case's geometry.
 	FastForwardOff bool `json:"fast_forward_off,omitempty"`
+
+	// Streamed adds a variant that runs the workload through the lazy
+	// chunked stream frontend (sim.RunStream) at the reference core
+	// count, proving the streamed backend reproduces the reference
+	// bytes on this case's geometry.
+	Streamed bool `json:"streamed,omitempty"`
 }
 
 // UnmarshalSpec decodes b over a Baseline preset.
@@ -142,6 +152,10 @@ func (sp *Spec) Build() (*config.Config, config.Policy, *trace.Kernel, error) {
 		}
 		seen[c] = true
 	}
+	scale := sp.Workload.Scale
+	if scale < 0 {
+		return nil, "", nil, fmt.Errorf("conform: workload scale %d must be >= 0", scale)
+	}
 	var k *trace.Kernel
 	switch {
 	case sp.Workload.App != "" && sp.Workload.Synth != nil:
@@ -151,17 +165,41 @@ func (sp *Spec) Build() (*config.Config, config.Policy, *trace.Kernel, error) {
 		if err != nil {
 			return nil, "", nil, fmt.Errorf("conform: %w", err)
 		}
-		k = app.SharedKernel(cfg.L1D.LineSize)
+		if scale > 1 {
+			k = app.ScaledKernel(scale)
+			k.PrecomputeCoalesced(cfg.L1D.LineSize)
+		} else {
+			k = app.SharedKernel(cfg.L1D.LineSize)
+		}
 	case sp.Workload.Synth != nil:
-		if err := sp.Workload.Synth.Validate(); err != nil {
+		synth := sp.Workload.Synth.Scaled(scale)
+		if err := synth.Validate(); err != nil {
 			return nil, "", nil, err
 		}
-		k = sp.Workload.Synth.Kernel()
+		k = synth.Kernel()
 		k.PrecomputeCoalesced(cfg.L1D.LineSize)
 	default:
 		return nil, "", nil, fmt.Errorf("conform: workload names neither an app nor a synth spec")
 	}
 	return cfg, pol, k, nil
+}
+
+// BuildStream resolves the spec's workload into the lazy stream
+// equivalent of Build's kernel. Call only after Build succeeded.
+func (sp *Spec) BuildStream() (trace.Stream, error) {
+	scale := sp.Workload.Scale
+	switch {
+	case sp.Workload.App != "":
+		app, err := workloads.ByAbbr(strings.ToUpper(sp.Workload.App))
+		if err != nil {
+			return nil, fmt.Errorf("conform: %w", err)
+		}
+		return app.Stream(scale), nil
+	case sp.Workload.Synth != nil:
+		return sp.Workload.Synth.Scaled(scale).Stream(), nil
+	default:
+		return nil, fmt.Errorf("conform: workload names neither an app nor a synth spec")
+	}
 }
 
 // Variants expands the spec's run matrix. The first entry is the
@@ -182,6 +220,13 @@ func (sp *Spec) Variants() []Variant {
 			DisableFastForward: true,
 		})
 	}
+	if sp.Streamed {
+		out = append(out, Variant{
+			Name:     fmt.Sprintf("cores=%d,streamed", cores[0]),
+			Cores:    cores[0],
+			Streamed: true,
+		})
+	}
 	return out
 }
 
@@ -190,6 +235,7 @@ type Variant struct {
 	Name               string
 	Cores              int
 	DisableFastForward bool
+	Streamed           bool
 }
 
 // Case is one loaded corpus directory.
@@ -399,10 +445,20 @@ func (c *Case) Run(ctx context.Context, rc RunConfig) *Result {
 	}
 
 	variants := c.Spec.Variants()
+	var stream trace.Stream
+	for _, v := range variants {
+		if v.Streamed {
+			if stream, err = c.Spec.BuildStream(); err != nil {
+				res.Outcome, res.Err = BadCase, err
+				return res
+			}
+			break
+		}
+	}
 	norm := make([][]byte, len(variants))
 	r := &runner.Runner{Workers: 1, Timeout: rc.Timeout, SelfCheck: true}
 	for i, v := range variants {
-		jobs := []runner.Job{{
+		job := runner.Job{
 			Label:  fmt.Sprintf("%s[%s]", c.Name, v.Name),
 			Config: cfg,
 			Policy: pol,
@@ -412,7 +468,11 @@ func (c *Case) Run(ctx context.Context, rc RunConfig) *Result {
 				Cores:              v.Cores,
 				DisableFastForward: v.DisableFastForward,
 			},
-		}}
+		}
+		if v.Streamed {
+			job.Kernel, job.Stream = nil, stream
+		}
+		jobs := []runner.Job{job}
 		results, err := r.Run(ctx, jobs)
 		if err != nil {
 			res.Outcome, res.Err, res.Variant = SimFailed, err, v.Name

@@ -41,6 +41,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -291,13 +292,20 @@ func WriteReproducer(root string, fd *Finding) (string, error) {
 
 // describe renders a spec's load-bearing dimensions for log lines.
 func describe(sp *conform.Spec) string {
+	extra := ""
+	if sp.Workload.Scale > 1 {
+		extra += fmt.Sprintf(" scale=%d", sp.Workload.Scale)
+	}
+	if sp.Streamed {
+		extra += " streamed"
+	}
 	sy := sp.Workload.Synth
 	if sy == nil {
-		return fmt.Sprintf("%s app=%s", sp.Policy, sp.Workload.App)
+		return fmt.Sprintf("%s app=%s%s", sp.Policy, sp.Workload.App, extra)
 	}
-	return fmt.Sprintf("%s blocks=%d warps=%d insns=%d footprint=%d sets=%d ways=%d",
+	return fmt.Sprintf("%s blocks=%d warps=%d insns=%d footprint=%d sets=%d ways=%d%s",
 		sp.Policy, sy.Blocks, sy.WarpsPerBlock, sy.MemInsnsPerWarp, sy.FootprintLines,
-		sp.Config.L1D.Sets, sp.Config.L1D.Ways)
+		sp.Config.L1D.Sets, sp.Config.L1D.Ways, extra)
 }
 
 // clone deep-copies a spec through its JSON form (specs are defined by
@@ -346,6 +354,14 @@ func generate(seed uint64, opts Options) (*conform.Spec, bool) {
 		Cores:     []int{1, opts.Cores},
 		// Half the points also check the fast-forward contract.
 		FastForwardOff: r.Intn(2) == 0,
+		// And half check the streamed frontend against the precomputed
+		// reference.
+		Streamed: r.Intn(2) == 0,
+	}
+	// A quarter of the points scale the grid up, exercising the
+	// many-block dispatch and chunk-refill regimes small specs miss.
+	if r.Intn(4) == 0 {
+		sp.Workload.Scale = pick(r, 2, 4, 8)
 	}
 	degenerate := r.Intn(100) < opts.DegeneratePct
 	if degenerate {
@@ -443,7 +459,7 @@ func degradeConfig(r *prng.Source, c *config.Config) {
 // randomSynth draws a workload small enough that a full differential
 // evaluation stays in the low milliseconds.
 func randomSynth(r *prng.Source, seed uint64) *workloads.SynthSpec {
-	return &workloads.SynthSpec{
+	sy := &workloads.SynthSpec{
 		Seed:            splitmix64(seed),
 		Blocks:          1 + r.Intn(2),
 		WarpsPerBlock:   1 + r.Intn(4),
@@ -463,6 +479,14 @@ func randomSynth(r *prng.Source, seed uint64) *workloads.SynthSpec {
 		StrideLines:         1 + r.Intn(8),
 		ConflictStrideLines: pick(r, 8, 16, 32, 64),
 	}
+	// A third of the specs rotate pattern classes mid-warp — the
+	// irregular phase-change regime that stresses sampling-period
+	// turnover in the protection schemes.
+	if r.Intn(3) == 0 {
+		sy.PhaseLen = 1 + r.Intn(16)
+		sy.PhaseRotate = 1 + r.Intn(4)
+	}
+	return sy
 }
 
 // ---------------------------------------------------------------------
@@ -510,9 +534,18 @@ func evaluate(ctx context.Context, sp *conform.Spec, opts Options) (out evalResu
 
 	r := &runner.Runner{Workers: 1, Timeout: opts.Timeout, SelfCheck: true}
 	variants := sp.Variants()
+	var stream trace.Stream
+	for _, v := range variants {
+		if v.Streamed {
+			if stream, err = sp.BuildStream(); err != nil {
+				return evalResult{class: ClassEngine, variant: "build", detail: err.Error()}
+			}
+			break
+		}
+	}
 	norms := make([][]byte, len(variants))
 	for i, v := range variants {
-		results, err := r.Run(ctx, []runner.Job{{
+		job := runner.Job{
 			Label:  fmt.Sprintf("fuzz[%s]", v.Name),
 			Config: cfg,
 			Policy: pol,
@@ -522,7 +555,11 @@ func evaluate(ctx context.Context, sp *conform.Spec, opts Options) (out evalResu
 				Cores:              v.Cores,
 				DisableFastForward: v.DisableFastForward,
 			},
-		}})
+		}
+		if v.Streamed {
+			job.Kernel, job.Stream = nil, stream
+		}
+		results, err := r.Run(ctx, []runner.Job{job})
 		if ctx.Err() != nil {
 			return evalResult{aborted: true}
 		}
@@ -604,6 +641,8 @@ func synthFields() []intField {
 		{"compute", 0, func(sp *conform.Spec) int { return sy(sp).ComputeRun }, func(sp *conform.Spec, v int) { sy(sp).ComputeRun = v }},
 		{"stores", 0, func(sp *conform.Spec) int { return sy(sp).StorePct }, func(sp *conform.Spec, v int) { sy(sp).StorePct = v }},
 		{"hot-lines", 1, func(sp *conform.Spec) int { return sy(sp).HotLines }, func(sp *conform.Spec, v int) { sy(sp).HotLines = v }},
+		{"phase-len", 0, func(sp *conform.Spec) int { return sy(sp).PhaseLen }, func(sp *conform.Spec, v int) { sy(sp).PhaseLen = v }},
+		{"scale", 0, func(sp *conform.Spec) int { return sp.Workload.Scale }, func(sp *conform.Spec, v int) { sp.Workload.Scale = v }},
 	}
 }
 
@@ -686,6 +725,13 @@ func (s *shrinker) shrink(sp *conform.Spec) *conform.Spec {
 		if cur.FastForwardOff {
 			cand := clone(cur)
 			cand.FastForwardOff = false
+			if s.fails(cand) {
+				cur, improved = cand, true
+			}
+		}
+		if cur.Streamed {
+			cand := clone(cur)
+			cand.Streamed = false
 			if s.fails(cand) {
 				cur, improved = cand, true
 			}

@@ -27,10 +27,39 @@ import (
 // A job whose kernel cannot be serialized has no content address; Key
 // returns "" and the runner treats the job as uncacheable rather than
 // inventing an identity-based key that could collide across processes.
+//
+// Stream jobs are addressed by the stream's SpecKey — a stable
+// description of the generator spec (or the trace file's content hash)
+// rather than a digest of the materialized trace. Since streamed and
+// precomputed runs of the same trace produce bit-identical stats, a
+// KernelStream falls back to the wrapped kernel's digest so the two
+// forms share cache entries. A stream with an empty SpecKey — and a
+// malformed job setting both Kernel and Stream — is uncacheable.
 func (j Job) Key() string {
-	kd, ok := kernelDigest(j.Kernel)
-	if !ok {
+	kernelLine := ""
+	switch {
+	case j.Kernel != nil && j.Stream != nil:
 		return ""
+	case j.Stream != nil:
+		if ks, ok := j.Stream.(*trace.KernelStream); ok {
+			kd, ok := kernelDigest(ks.Kernel())
+			if !ok {
+				return ""
+			}
+			kernelLine = kd
+		} else {
+			sk := j.Stream.SpecKey()
+			if sk == "" {
+				return ""
+			}
+			kernelLine = "stream:" + sk
+		}
+	default:
+		kd, ok := kernelDigest(j.Kernel)
+		if !ok {
+			return ""
+		}
+		kernelLine = kd
 	}
 	h := sha256.New()
 	// Config has only value fields, so %#v is a canonical encoding.
@@ -38,7 +67,7 @@ func (j Job) Key() string {
 	fmt.Fprintf(h, "policy|%s\n", j.Policy)
 	o := j.Opts.Canonical()
 	fmt.Fprintf(h, "opts|%d|%g|%d\n", o.MaxCycles, *o.BackgroundFlitsPerKInsn, o.InjectionRate)
-	fmt.Fprintf(h, "kernel|%s\n", kd)
+	fmt.Fprintf(h, "kernel|%s\n", kernelLine)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -50,6 +50,11 @@ type Job struct {
 	Config *config.Config
 	Policy config.Policy
 	Kernel *trace.Kernel
+	// Stream, when non-nil, runs the job against a lazily generated
+	// kernel stream (sim.RunStreamOnce) instead of a materialized
+	// kernel. Exactly one of Kernel and Stream must be set; a job with
+	// both fails rather than guessing which trace the caller meant.
+	Stream trace.Stream
 	Opts   sim.Options
 
 	// MaxWall, when positive, bounds the job's wall-clock simulation
@@ -404,7 +409,14 @@ func (r *Runner) attempt(ctx context.Context, index, attempt int, j Job) (st *st
 		opts.SelfCheck = true
 	}
 	run := func(c context.Context) (*stats.Stats, error) {
-		return sim.RunOnce(c, j.Config, j.Policy, j.Kernel, opts)
+		switch {
+		case j.Kernel != nil && j.Stream != nil:
+			return nil, fmt.Errorf("runner: job %q sets both Kernel and Stream", j.Label)
+		case j.Stream != nil:
+			return sim.RunStreamOnce(c, j.Config, j.Policy, j.Stream, opts)
+		default:
+			return sim.RunOnce(c, j.Config, j.Policy, j.Kernel, opts)
+		}
 	}
 	if r.Intercept != nil {
 		return r.Intercept(ctx, index, attempt, j, run)

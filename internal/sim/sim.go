@@ -238,7 +238,42 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 	for i, b := range k.Blocks {
 		e.sms[i%len(e.sms)].AssignBlock(b)
 	}
+	return e.runLoop(ctx, k.Name)
+}
 
+// RunStream executes a lazily generated kernel stream to completion.
+// It is Run with the launch shape read from the stream instead of a
+// materialized kernel: blocks round-robin onto SMs in the same order,
+// and each SM pulls instruction windows through per-warp cursors as
+// warps advance. Stats are bit-identical to Run on the materialized
+// equivalent (see trace.Materialize).
+func (e *Engine) RunStream(ctx context.Context, src trace.Stream) (*stats.Stats, error) {
+	name := src.Name()
+	blocks := src.Blocks()
+	if blocks == 0 {
+		return nil, fmt.Errorf("kernel %q has no blocks", name)
+	}
+	for bi := 0; bi < blocks; bi++ {
+		warps := src.Warps(bi)
+		if warps == 0 {
+			return nil, fmt.Errorf("kernel %q block %d has no warps", name, bi)
+		}
+		if warps > e.cfg.MaxWarpsPerSM {
+			return nil, &LaunchError{Kernel: name, Detail: fmt.Sprintf(
+				"block %d has %d warps but an SM holds at most %d resident",
+				bi, warps, e.cfg.MaxWarpsPerSM)}
+		}
+	}
+	for bi := 0; bi < blocks; bi++ {
+		e.sms[bi%len(e.sms)].AssignStream(src, bi)
+	}
+	return e.runLoop(ctx, name)
+}
+
+// runLoop steps the machine until the launched work drains, the cycle
+// budget runs out, or the machine wedges. Both Run and RunStream land
+// here after assigning their blocks.
+func (e *Engine) runLoop(ctx context.Context, name string) (*stats.Stats, error) {
 	// With more than one shard, spin up the persistent phase-worker
 	// pool for the duration of the run. The deferred stop also runs on
 	// the panic path (a coordinator-shard panic unwinding through Run),
@@ -259,7 +294,7 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 			select {
 			case <-ctx.Done():
 				return nil, fmt.Errorf("sim: kernel %q aborted after %d cycles: %w",
-					k.Name, cycle, ctx.Err())
+					name, cycle, ctx.Err())
 			default:
 			}
 		}
@@ -272,7 +307,7 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 		// catching a corrupted-state bug within ~2k cycles of its
 		// introduction instead of at the end-of-run figures.
 		if e.opts.SelfCheck && cycle&(selfCheckPeriod-1) == 0 {
-			if err := e.selfCheck(k, cycle); err != nil {
+			if err := e.selfCheck(name, cycle); err != nil {
 				return nil, err
 			}
 		}
@@ -294,7 +329,7 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 			// outstanding but nothing has happened for a whole window —
 			// a dropped wakeup, not a long latency (see DeadlockError).
 			if cycle-lastActive >= deadlockWindow {
-				return nil, &DeadlockError{Kernel: k.Name, Cycle: cycle, Idle: cycle - lastActive}
+				return nil, &DeadlockError{Kernel: name, Cycle: cycle, Idle: cycle - lastActive}
 			}
 		}
 		// Fast-forward: when this cycle did no work, every following
@@ -324,14 +359,14 @@ func (e *Engine) Run(ctx context.Context, k *trace.Kernel) (*stats.Stats, error)
 	}
 	if cycle > e.opts.MaxCycles {
 		if !e.quiescent() {
-			return nil, &CycleLimitError{Kernel: k.Name, MaxCycles: e.opts.MaxCycles}
+			return nil, &CycleLimitError{Kernel: name, MaxCycles: e.opts.MaxCycles}
 		}
 	}
 
 	// A final full sweep at drain time, so even sub-period kernels get
 	// checked at least once.
 	if e.opts.SelfCheck {
-		if err := e.selfCheck(k, cycle); err != nil {
+		if err := e.selfCheck(name, cycle); err != nil {
 			return nil, err
 		}
 	}
@@ -419,15 +454,15 @@ const selfCheckPeriod = 2048
 // validates the engine's O(1) activity accounting (liveWarps counters,
 // counter-form quiescence) against full sweeps, so the fast-path
 // bookkeeping cannot silently drift from the state it summarizes.
-func (e *Engine) selfCheck(k *trace.Kernel, cycle uint64) error {
+func (e *Engine) selfCheck(name string, cycle uint64) error {
 	for i, s := range e.sms {
 		if err := s.L1D().CheckInvariants(); err != nil {
 			return fmt.Errorf("sim: kernel %q self-check failed at cycle %d (SM %d): %w",
-				k.Name, cycle, i, err)
+				name, cycle, i, err)
 		}
 	}
 	if err := e.checkActivity(); err != nil {
-		return fmt.Errorf("sim: kernel %q self-check failed at cycle %d: %w", k.Name, cycle, err)
+		return fmt.Errorf("sim: kernel %q self-check failed at cycle %d: %w", name, cycle, err)
 	}
 	return nil
 }
@@ -661,4 +696,13 @@ func RunOnce(ctx context.Context, cfg *config.Config, policy config.Policy, k *t
 		return nil, err
 	}
 	return e.Run(ctx, k)
+}
+
+// RunStreamOnce is RunOnce for a lazily generated stream.
+func RunStreamOnce(ctx context.Context, cfg *config.Config, policy config.Policy, src trace.Stream, opts Options) (*stats.Stats, error) {
+	e, err := New(cfg, policy, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunStream(ctx, src)
 }

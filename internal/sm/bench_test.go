@@ -41,7 +41,7 @@ func storeBench() (s *SM, step func()) {
 	step = func() {
 		// Rewind the warp so it issues the same store again. The rewind
 		// itself is not a tracked scheduler event, so wake explicitly.
-		s.slots[0].pc = 0
+		s.slots[0].cur.Rewind()
 		s.finishedWarps--
 		s.wakeSchedulers()
 		tick() // issue

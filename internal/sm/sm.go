@@ -16,10 +16,12 @@ import (
 	"repro/internal/trace"
 )
 
-// warp is one resident warp's execution state.
+// warp is one resident warp's execution state. Its position in the
+// instruction stream is a trace.Cursor: plain slice arithmetic over a
+// precomputed WarpTrace on the compat path, a chunk-refilling window
+// over a trace.Stream on the streaming path.
 type warp struct {
-	tr          *trace.WarpTrace
-	pc          int
+	cur         trace.Cursor
 	busyUntil   uint64
 	outstanding int  // memory requests in flight
 	inLDST      bool // a memory instruction of this warp occupies the LD/ST queue
@@ -29,13 +31,13 @@ type warp struct {
 }
 
 func (w *warp) done(now uint64) bool {
-	return w.pc >= len(w.tr.Instrs) && w.outstanding == 0 && !w.inLDST &&
+	return w.cur.Exhausted() && w.outstanding == 0 && !w.inLDST &&
 		w.busyUntil <= now
 }
 
 // ready reports whether the warp can issue at cycle now.
 func (w *warp) ready(now uint64) bool {
-	return w.pc < len(w.tr.Instrs) && w.busyUntil <= now &&
+	return !w.cur.Exhausted() && w.busyUntil <= now &&
 		w.outstanding == 0 && !w.inLDST
 }
 
@@ -50,6 +52,15 @@ type memInstr struct {
 	next int
 }
 
+// pendingBlock is one dispatched-but-unadmitted thread block: either a
+// precomputed block or a stream's block index.
+type pendingBlock struct {
+	b     *trace.Block // precomputed path (nil on the stream path)
+	src   trace.Stream // stream path (nil on the precomputed path)
+	idx   int          // block index within src
+	warps int          // warp count, known without touching the trace
+}
+
 // SM is one streaming multiprocessor.
 type SM struct {
 	cfg   *config.Config
@@ -58,9 +69,14 @@ type SM struct {
 	st    *stats.Stats
 	slots []*warp
 
-	pendingBlocks []*trace.Block
+	pendingBlocks []pendingBlock
 	ageCounter    uint64
 	nextReqID     uint64
+
+	// chunks recycles stream-refill buffers across this SM's warps;
+	// created lazily on the first AssignStream, nil on the
+	// precomputed-kernel path.
+	chunks *trace.ChunkPool
 
 	ldst    []*memInstr
 	ldstCap int
@@ -127,9 +143,19 @@ func (s *SM) L1D() *core.L1D { return s.l1d }
 // Stats returns the SM's counters (cycles are tracked by the engine).
 func (s *SM) Stats() *stats.Stats { return s.st }
 
-// AssignBlock queues a thread block for execution on this SM.
+// AssignBlock queues a precomputed thread block for execution on this SM.
 func (s *SM) AssignBlock(b *trace.Block) {
-	s.pendingBlocks = append(s.pendingBlocks, b)
+	s.pendingBlocks = append(s.pendingBlocks, pendingBlock{b: b, warps: len(b.Warps)})
+}
+
+// AssignStream queues block idx of a lazy trace stream for execution on
+// this SM. Warps of the block pull chunk-sized instruction windows from
+// the stream through this SM's chunk pool as they execute.
+func (s *SM) AssignStream(src trace.Stream, idx int) {
+	if s.chunks == nil {
+		s.chunks = trace.NewChunkPool(trace.DefaultChunkInstrs)
+	}
+	s.pendingBlocks = append(s.pendingBlocks, pendingBlock{src: src, idx: idx, warps: src.Warps(idx)})
 }
 
 // onMemResponse is the L1D delivery callback: one completed load
@@ -166,15 +192,15 @@ func (s *SM) wakeSchedulers() {
 func (s *SM) admitBlocks() bool {
 	admitted := false
 	for len(s.pendingBlocks) > 0 {
-		b := s.pendingBlocks[0]
-		if len(s.slots)-s.liveWarps < len(b.Warps) {
+		pb := s.pendingBlocks[0]
+		if len(s.slots)-s.liveWarps < pb.warps {
 			return admitted
 		}
 		rb := s.getBlock()
-		rb.liveWarps = len(b.Warps)
+		rb.liveWarps = pb.warps
 		wi := 0
 		for slot := range s.slots {
-			if wi >= len(b.Warps) {
+			if wi >= pb.warps {
 				break
 			}
 			if s.slots[slot] != nil {
@@ -182,13 +208,17 @@ func (s *SM) admitBlocks() bool {
 			}
 			s.ageCounter++
 			w := s.getWarp()
-			w.tr = b.Warps[wi]
+			if pb.b != nil {
+				w.cur.InitPrecomputed(pb.b.Warps[wi])
+			} else {
+				w.cur.InitStream(pb.src, s.chunks, s.cfg.L1D.LineSize, pb.idx, wi)
+			}
 			w.slot = slot
 			w.age = s.ageCounter
 			w.block = rb
 			s.slots[slot] = w
 			s.liveWarps++
-			if len(w.tr.Instrs) == 0 {
+			if w.cur.Exhausted() {
 				s.finishedWarps++
 			}
 			wi++
@@ -222,6 +252,7 @@ func (s *SM) retireWarps() bool {
 		s.slots[slot] = nil
 		s.liveWarps--
 		s.finishedWarps--
+		w.cur.Release() // return the stream chunk before wiping the warp
 		*w = warp{}
 		s.freeWarps = append(s.freeWarps, w)
 		retired = true
@@ -341,7 +372,7 @@ func (s *SM) issuable(w *warp) bool {
 	if !s.warpActive(w) {
 		return false
 	}
-	if w.tr.Instrs[w.pc].Kind != trace.Compute && len(s.ldst) >= s.ldstCap {
+	if w.cur.Cur().Kind != trace.Compute && len(s.ldst) >= s.ldstCap {
 		return false
 	}
 	return true
@@ -379,7 +410,7 @@ func (s *SM) pickWarp(sched int) int {
 	nextReady := ^uint64(0)
 	for slot := sched; slot < len(s.slots); slot += s.cfg.SchedulersPerSM {
 		w := s.slots[slot]
-		if w == nil || w.outstanding != 0 || w.inLDST || w.pc >= len(w.tr.Instrs) {
+		if w == nil || w.outstanding != 0 || w.inLDST || w.cur.Exhausted() {
 			// Empty, waiting on an unblocking event, or exhausted: none
 			// contribute a time-based wake (events reset the sleep bound).
 			continue
@@ -398,7 +429,7 @@ func (s *SM) pickWarp(sched int) int {
 		if !s.warpActive(w) {
 			continue
 		}
-		if w.tr.Instrs[w.pc].Kind != trace.Compute && len(s.ldst) >= s.ldstCap {
+		if w.cur.Cur().Kind != trace.Compute && len(s.ldst) >= s.ldstCap {
 			continue
 		}
 		if best < 0 || w.age < bestAge {
@@ -432,7 +463,7 @@ func (s *SM) pickWarpLRR(sched int) int {
 	for i := 1; i <= count; i++ {
 		slot := sched + ((last+i)%count)*n
 		w := s.slots[slot]
-		if w == nil || w.outstanding != 0 || w.inLDST || w.pc >= len(w.tr.Instrs) {
+		if w == nil || w.outstanding != 0 || w.inLDST || w.cur.Exhausted() {
 			continue
 		}
 		if w.busyUntil > s.now {
@@ -444,7 +475,7 @@ func (s *SM) pickWarpLRR(sched int) int {
 		if !s.warpActive(w) {
 			continue
 		}
-		if w.tr.Instrs[w.pc].Kind != trace.Compute && len(s.ldst) >= s.ldstCap {
+		if w.cur.Cur().Kind != trace.Compute && len(s.ldst) >= s.ldstCap {
 			continue
 		}
 		return slot
@@ -454,11 +485,9 @@ func (s *SM) pickWarpLRR(sched int) int {
 }
 
 func (s *SM) issueFrom(w *warp) {
-	in := &w.tr.Instrs[w.pc]
-	w.pc++
-	if w.pc == len(w.tr.Instrs) {
-		s.finishedWarps++
-	}
+	// The instruction must be fully consumed before Advance(): a chunk
+	// refill reuses the cursor's backing storage, invalidating in.
+	in := w.cur.Cur()
 	s.st.WarpInsns++
 	s.st.Instructions += uint64(in.ActiveLanes)
 	s.l1d.NoteInstructions(uint64(in.ActiveLanes))
@@ -485,6 +514,10 @@ func (s *SM) issueFrom(w *warp) {
 		w.inLDST = true
 		s.ldst = append(s.ldst, mi)
 		w.busyUntil = s.now + 1
+	}
+	w.cur.Advance()
+	if w.cur.Exhausted() {
+		s.finishedWarps++
 	}
 }
 
@@ -545,7 +578,7 @@ func (s *SM) CheckActivity() error {
 	for _, w := range s.slots {
 		if w != nil {
 			occupied++
-			if w.pc >= len(w.tr.Instrs) {
+			if w.cur.Exhausted() {
 				finished++
 			}
 		}

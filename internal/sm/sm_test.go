@@ -175,9 +175,9 @@ func TestGTOPrefersOldestWarp(t *testing.T) {
 	if s.Stats().WarpInsns != 1 {
 		t.Fatalf("issued %d instructions in one cycle with 1 scheduler", s.Stats().WarpInsns)
 	}
-	if s.slots[0].pc != 1 || s.slots[1].pc != 0 {
+	if s.slots[0].cur.Index() != 1 || s.slots[1].cur.Index() != 0 {
 		t.Errorf("GTO issued from warp %v, want oldest (slot 0): pcs=%d,%d",
-			s.slots[1].pc == 1, s.slots[0].pc, s.slots[1].pc)
+			s.slots[1].cur.Index() == 1, s.slots[0].cur.Index(), s.slots[1].cur.Index())
 	}
 }
 
@@ -254,9 +254,9 @@ func TestLRRRotatesThroughWarps(t *testing.T) {
 	for now := uint64(1); now <= 6; now++ {
 		s.Tick(now)
 		for slot := 0; slot < 3; slot++ {
-			if s.slots[slot] != nil && s.slots[slot].pc != pcs[slot] {
+			if s.slots[slot] != nil && s.slots[slot].cur.Index() != pcs[slot] {
 				order = append(order, slot)
-				pcs[slot] = s.slots[slot].pc
+				pcs[slot] = s.slots[slot].cur.Index()
 			}
 		}
 	}

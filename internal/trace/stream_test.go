@@ -1,0 +1,352 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/addr"
+)
+
+// testStream builds a deterministic kernel with mixed instruction kinds
+// and uneven warp lengths, for round-trip and cursor tests.
+func testKernel(blocks, warps int) *Kernel {
+	k := &Kernel{Name: "stream-test"}
+	for b := 0; b < blocks; b++ {
+		blk := &Block{}
+		for w := 0; w < warps; w++ {
+			wt := &WarpTrace{}
+			n := 5 + (b*warps+w)%150 // uneven lengths straddle chunk boundaries
+			for i := 0; i < n; i++ {
+				switch i % 3 {
+				case 0:
+					wt.Instrs = append(wt.Instrs, NewCompute(100, 3, 32))
+				case 1:
+					wt.Instrs = append(wt.Instrs,
+						NewLoad(uint32(i%7), []addr.Addr{addr.Addr((b*1000 + w*100 + i) * 128)}))
+				default:
+					wt.Instrs = append(wt.Instrs, NewStore(uint32(8+i%3), []addr.Addr{
+						addr.Addr((b*2000 + w*50 + i) * 128),
+						addr.Addr((b*2000 + w*50 + i + 1) * 128),
+					}))
+				}
+			}
+			blk.Warps = append(blk.Warps, wt)
+		}
+		k.Blocks = append(k.Blocks, blk)
+	}
+	return k
+}
+
+// kernelsEqual compares two kernels instruction by instruction
+// (ignoring coalescing memos).
+func kernelsEqual(a, b *Kernel) error {
+	if a.Name != b.Name {
+		return fmt.Errorf("name %q vs %q", a.Name, b.Name)
+	}
+	if len(a.Blocks) != len(b.Blocks) {
+		return fmt.Errorf("%d vs %d blocks", len(a.Blocks), len(b.Blocks))
+	}
+	for bi := range a.Blocks {
+		if len(a.Blocks[bi].Warps) != len(b.Blocks[bi].Warps) {
+			return fmt.Errorf("block %d: %d vs %d warps", bi, len(a.Blocks[bi].Warps), len(b.Blocks[bi].Warps))
+		}
+		for wi := range a.Blocks[bi].Warps {
+			wa, wb := a.Blocks[bi].Warps[wi], b.Blocks[bi].Warps[wi]
+			if len(wa.Instrs) != len(wb.Instrs) {
+				return fmt.Errorf("block %d warp %d: %d vs %d instrs", bi, wi, len(wa.Instrs), len(wb.Instrs))
+			}
+			for ii := range wa.Instrs {
+				ia, ib := &wa.Instrs[ii], &wb.Instrs[ii]
+				if ia.Kind != ib.Kind || ia.PC != ib.PC || ia.Latency != ib.Latency ||
+					ia.ActiveLanes != ib.ActiveLanes || len(ia.Addrs) != len(ib.Addrs) {
+					return fmt.Errorf("block %d warp %d instr %d differs", bi, wi, ii)
+				}
+				for l := range ia.Addrs {
+					if ia.Addrs[l] != ib.Addrs[l] {
+						return fmt.Errorf("block %d warp %d instr %d lane %d differs", bi, wi, ii, l)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// TestMaterializeRoundTrip pins the eager bridge: materializing a
+// kernel-backed stream reproduces the kernel.
+func TestMaterializeRoundTrip(t *testing.T) {
+	k := testKernel(3, 4)
+	got := Materialize(NewKernelStream(k))
+	if err := kernelsEqual(k, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileStreamRoundTrip records a kernel into the on-disk stream
+// format with an awkward chunk size and replays it back.
+func TestFileStreamRoundTrip(t *testing.T) {
+	k := testKernel(3, 5)
+	path := filepath.Join(t.TempDir(), "k.dlpstrm")
+	if err := WriteFile(path, NewKernelStream(k), 7); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if fs.ChunkInstrs() != 7 {
+		t.Errorf("ChunkInstrs = %d, want 7", fs.ChunkInstrs())
+	}
+	if fs.Digest() == "" || fs.SpecKey() != "file:sha256:"+fs.Digest() {
+		t.Errorf("SpecKey %q inconsistent with digest %q", fs.SpecKey(), fs.Digest())
+	}
+	if err := kernelsEqual(k, Materialize(fs)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileStreamRerecord re-records an open FileStream under a
+// different chunk size — the reader's windows (size 7) do not align
+// with the writer's chunks (size 16), exercising the rewindowing path.
+func TestFileStreamRerecord(t *testing.T) {
+	k := testKernel(2, 3)
+	dir := t.TempDir()
+	first := filepath.Join(dir, "a.dlpstrm")
+	if err := WriteFile(first, NewKernelStream(k), 7); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Open(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	second := filepath.Join(dir, "b.dlpstrm")
+	if err := WriteFile(second, fs, 16); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Open(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	if err := kernelsEqual(k, Materialize(fs2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// corrupt mirrors internal/faultinject's file-corruption modes. The
+// helpers themselves live above the trace package (faultinject imports
+// the runner), so the byte-level operations are inlined here.
+func truncateHalf(t *testing.T, path string) {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenRejectsCorruptFiles proves every corruption mode surfaces as
+// a typed *FormatError at Open time: truncation, garbling, a flipped
+// payload byte (caught by the whole-file checksum), and a flipped
+// footer byte.
+func TestOpenRejectsCorruptFiles(t *testing.T) {
+	k := testKernel(2, 3)
+	write := func(t *testing.T) string {
+		path := filepath.Join(t.TempDir(), "k.dlpstrm")
+		if err := WriteFile(path, NewKernelStream(k), 8); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"truncated", truncateHalf},
+		{"garbled", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte("\x00\xffnot a stream\x00"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"payload-byte-flip", func(t *testing.T, path string) {
+			flipByte(t, path, 64) // inside the chunk data
+		}},
+		{"footer-byte-flip", func(t *testing.T, path string) {
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flipByte(t, path, info.Size()-4) // inside the tail magic
+		}},
+		{"empty", func(t *testing.T, path string) {
+			if err := os.Truncate(path, 0); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := write(t)
+			tc.corrupt(t, path)
+			fs, err := Open(path)
+			if err == nil {
+				fs.Close()
+				t.Fatal("Open accepted a corrupt file")
+			}
+			var fe *FormatError
+			if !errors.As(err, &fe) {
+				t.Fatalf("Open error %T (%v), want *FormatError", err, err)
+			}
+			if fe.Path != path {
+				t.Errorf("FormatError.Path = %q, want %q", fe.Path, path)
+			}
+		})
+	}
+}
+
+// TestCursorStreamWalk drives a cursor over a file stream and checks
+// the instruction sequence and indices against the precomputed form.
+func TestCursorStreamWalk(t *testing.T) {
+	k := testKernel(2, 4)
+	path := filepath.Join(t.TempDir(), "k.dlpstrm")
+	if err := WriteFile(path, NewKernelStream(k), 8); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	pool := NewChunkPool(8)
+	for b := range k.Blocks {
+		for w := range k.Blocks[b].Warps {
+			want := k.Blocks[b].Warps[w].Instrs
+			var cur Cursor
+			cur.InitStream(fs, pool, 128, b, w)
+			for i := range want {
+				if cur.Exhausted() {
+					t.Fatalf("block %d warp %d: exhausted at %d/%d", b, w, i, len(want))
+				}
+				if cur.Index() != i {
+					t.Fatalf("block %d warp %d: Index=%d, want %d", b, w, cur.Index(), i)
+				}
+				in := cur.Cur()
+				if in.Kind != want[i].Kind || in.PC != want[i].PC {
+					t.Fatalf("block %d warp %d instr %d: got kind=%v pc=%d", b, w, i, in.Kind, in.PC)
+				}
+				if in.Kind != Compute {
+					// The memoized per-chunk lines must equal a fresh
+					// coalescing of the eager instruction.
+					want := want[i].CoalescedLines(128)
+					got := in.CoalescedLines(128)
+					if len(got) != len(want) {
+						t.Fatalf("block %d warp %d instr %d: %d coalesced lines, want %d",
+							b, w, i, len(got), len(want))
+					}
+					for l := range got {
+						if got[l] != want[l] {
+							t.Fatalf("block %d warp %d instr %d line %d differs", b, w, i, l)
+						}
+					}
+				}
+				cur.Advance()
+			}
+			if !cur.Exhausted() {
+				t.Fatalf("block %d warp %d: not exhausted after %d instrs", b, w, len(want))
+			}
+			cur.Release()
+		}
+	}
+}
+
+// TestFillPanicsOnMisalignedStart pins the Fill contract: a start that
+// is not a chunk boundary is a caller bug surfaced as *FormatError.
+func TestFillPanicsOnMisalignedStart(t *testing.T) {
+	k := testKernel(1, 1)
+	path := filepath.Join(t.TempDir(), "k.dlpstrm")
+	if err := WriteFile(path, NewKernelStream(k), 8); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("no panic on misaligned Fill start")
+		}
+		if _, ok := v.(*FormatError); !ok {
+			t.Fatalf("panic value %T, want *FormatError", v)
+		}
+	}()
+	c := NewChunkPool(8).Get()
+	fs.Fill(0, 0, 3, c)
+}
+
+// TestWriteFileRejectsBadShapes covers writer-side validation.
+func TestWriteFileRejectsBadShapes(t *testing.T) {
+	dir := t.TempDir()
+	empty := &Kernel{Name: "empty", Blocks: []*Block{{Warps: []*WarpTrace{{}}}}}
+	err := WriteFile(filepath.Join(dir, "e.dlpstrm"), NewKernelStream(empty), 8)
+	if err == nil {
+		t.Fatal("WriteFile accepted an empty warp")
+	}
+	var fe *FormatError
+	if !errors.As(err, &fe) {
+		t.Fatalf("WriteFile error %T, want *FormatError", err)
+	}
+}
+
+// TestMultiStreamShape checks block/warp indexing across concatenated
+// sub-streams and the composed cache key.
+func TestMultiStreamShape(t *testing.T) {
+	a := testKernel(2, 3)
+	b := testKernel(3, 2)
+	b.Name = "second"
+	m := NewMultiStream("pair", NewKernelStream(a), NewKernelStream(b))
+	if m.Blocks() != 5 {
+		t.Fatalf("Blocks = %d, want 5", m.Blocks())
+	}
+	if got := m.Warps(1); got != 3 {
+		t.Errorf("Warps(1) = %d, want 3", got)
+	}
+	if got := m.Warps(4); got != 2 {
+		t.Errorf("Warps(4) = %d, want 2", got)
+	}
+	if m.SpecKey() != "" {
+		t.Errorf("SpecKey = %q, want \"\" (kernel-backed subs are uncacheable)", m.SpecKey())
+	}
+	got := Materialize(m)
+	if len(got.Blocks) != 5 {
+		t.Fatalf("materialized %d blocks, want 5", len(got.Blocks))
+	}
+	if err := kernelsEqual(b, &Kernel{Name: b.Name, Blocks: got.Blocks[2:]}); err != nil {
+		t.Fatal(err)
+	}
+}

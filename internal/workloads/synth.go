@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/addr"
@@ -54,6 +55,14 @@ type SynthSpec struct {
 
 	StrideLines         int `json:"stride_lines,omitempty"`          // lines one stride load spans; 0 means 4
 	ConflictStrideLines int `json:"conflict_stride_lines,omitempty"` // conflict stride; 0 means 32
+
+	// PhaseLen, when positive, rotates the chosen pattern class by
+	// PhaseRotate every PhaseLen memory instructions — the irregular
+	// phase-change regime (a kernel that streams, then gathers, then
+	// hammers a hot set) that stresses sampling-period turnover. Zero
+	// keeps the stationary mixer.
+	PhaseLen    int `json:"phase_len,omitempty"`
+	PhaseRotate int `json:"phase_rotate,omitempty"` // classes per rotation; 0 means 1
 }
 
 // withDefaults clamps the spec to generate-able values without
@@ -92,6 +101,12 @@ func (s SynthSpec) withDefaults() SynthSpec {
 	}
 	if s.ConflictStrideLines <= 0 {
 		s.ConflictStrideLines = 32
+	}
+	if s.PhaseLen < 0 {
+		s.PhaseLen = 0
+	}
+	if s.PhaseLen > 0 && s.PhaseRotate <= 0 {
+		s.PhaseRotate = 1
 	}
 	neg := func(v int) bool { return v < 0 }
 	if neg(s.StreamPct) || neg(s.StridePct) || neg(s.GatherPct) || neg(s.HotPct) || neg(s.ConflictPct) {
@@ -145,13 +160,42 @@ const (
 // machinery (PDPT attribution, dead-block tables) sees the same static
 // instructions from every warp, as it would in compiled code.
 func (s SynthSpec) Kernel() *trace.Kernel {
+	return s.gridSpec().Kernel()
+}
+
+// Stream returns the spec's kernel as a lazily generated stream whose
+// windows are byte-identical to Kernel's output. The cache key is the
+// spec's own canonical JSON — a synth kernel is fully defined by it.
+func (s SynthSpec) Stream() trace.Stream {
+	d := s.withDefaults()
+	js, err := json.Marshal(d)
+	if err != nil {
+		panic(fmt.Sprintf("workloads: synth spec not marshalable: %v", err))
+	}
+	return newGridStream(s.gridSpec(), "synth:v1:"+string(js))
+}
+
+// Scaled multiplies the grid and footprint by n (n <= 1 returns the
+// spec unchanged) — the synth counterpart of Spec.Stream's scale knob.
+func (s SynthSpec) Scaled(n int) SynthSpec {
+	if n > 1 {
+		s.Blocks *= n
+		s.FootprintLines *= n
+	}
+	return s
+}
+
+// gridSpec defers generation behind the shared grid machinery; the
+// build closure's draw order is pinned by the committed conformance
+// corpus, so it must not change.
+func (s SynthSpec) gridSpec() gridSpec {
 	s = s.withDefaults()
 	name := s.Name
 	if name == "" {
 		name = fmt.Sprintf("synth-%x", s.Seed)
 	}
-	var lay layout
-	base := lay.array(s.FootprintLines)
+	mem := &layout{}
+	base := mem.array(s.FootprintLines)
 	weights := [numPatterns]int{s.StreamPct, s.StridePct, s.GatherPct, s.HotPct, s.ConflictPct}
 	totalWeight := 0
 	for _, w := range weights {
@@ -159,64 +203,68 @@ func (s SynthSpec) Kernel() *trace.Kernel {
 	}
 
 	gather := make([]addr.Addr, warpLanes)
-	return grid(name, s.Blocks, s.WarpsPerBlock, func(b *wb, block, warp int) {
-		r := seedFor(s.Seed, block, warp)
-		cursor := r.Intn(s.FootprintLines) // per-warp streaming position
-		for i := 0; i < s.MemInsnsPerWarp; i++ {
-			if s.ComputeRun > 0 {
-				b.compute(0, s.ComputeRun)
-			}
-			roll := r.Intn(totalWeight)
-			pat := 0
-			for pat < numPatterns-1 && roll >= weights[pat] {
-				roll -= weights[pat]
-				pat++
-			}
-			store := r.Intn(100) < s.StorePct
-			// PC 0 is compute; memory PCs start at 1, stores offset by
-			// numPatterns so loads and stores never share attribution.
-			pc := uint32(1 + pat)
-			if store {
-				pc += numPatterns
-			}
-			var target addr.Addr
-			switch pat {
-			case patStream:
-				target = lineAt(base, cursor%s.FootprintLines)
-				cursor++
-			case patStride:
-				span := s.StrideLines
-				if span > s.FootprintLines {
-					span = s.FootprintLines
+	return gridSpec{name: name, blocks: s.Blocks, warps: s.WarpsPerBlock, mem: mem,
+		build: func(b *wb, block, warp int) {
+			r := seedFor(s.Seed, block, warp)
+			cursor := r.Intn(s.FootprintLines) // per-warp streaming position
+			for i := 0; i < s.MemInsnsPerWarp; i++ {
+				if s.ComputeRun > 0 {
+					b.compute(0, s.ComputeRun)
 				}
-				start := r.Intn(max(s.FootprintLines-span+1, 1))
+				roll := r.Intn(totalWeight)
+				pat := 0
+				for pat < numPatterns-1 && roll >= weights[pat] {
+					roll -= weights[pat]
+					pat++
+				}
+				if s.PhaseLen > 0 {
+					pat = (pat + (i/s.PhaseLen)*s.PhaseRotate) % numPatterns
+				}
+				store := r.Intn(100) < s.StorePct
+				// PC 0 is compute; memory PCs start at 1, stores offset by
+				// numPatterns so loads and stores never share attribution.
+				pc := uint32(1 + pat)
 				if store {
-					b.storeVec(pc, lineAt(base, start))
-				} else {
-					b.loadSpan(pc, lineAt(base, start), span)
+					pc += numPatterns
 				}
-				continue
-			case patGather:
-				for l := range gather {
-					gather[l] = lineAt(base, r.Intn(s.FootprintLines))
+				var target addr.Addr
+				switch pat {
+				case patStream:
+					target = lineAt(base, cursor%s.FootprintLines)
+					cursor++
+				case patStride:
+					span := s.StrideLines
+					if span > s.FootprintLines {
+						span = s.FootprintLines
+					}
+					start := r.Intn(max(s.FootprintLines-span+1, 1))
+					if store {
+						b.storeVec(pc, lineAt(base, start))
+					} else {
+						b.loadSpan(pc, lineAt(base, start), span)
+					}
+					continue
+				case patGather:
+					for l := range gather {
+						gather[l] = lineAt(base, r.Intn(s.FootprintLines))
+					}
+					if store {
+						b.storeGather(pc, gather)
+					} else {
+						b.loadGather(pc, gather)
+					}
+					continue
+				case patHot:
+					target = lineAt(base, r.Intn(s.HotLines))
+				case patConflict:
+					steps := s.FootprintLines/s.ConflictStrideLines + 1
+					target = lineAt(base, (r.Intn(steps)*s.ConflictStrideLines)%s.FootprintLines)
 				}
 				if store {
-					b.instrs = append(b.instrs, trace.NewStore(pc, append([]addr.Addr(nil), gather...)))
+					b.storeVec(pc, target)
 				} else {
-					b.loadGather(pc, gather)
+					b.loadVec(pc, target)
 				}
-				continue
-			case patHot:
-				target = lineAt(base, r.Intn(s.HotLines))
-			case patConflict:
-				steps := s.FootprintLines/s.ConflictStrideLines + 1
-				target = lineAt(base, (r.Intn(steps)*s.ConflictStrideLines)%s.FootprintLines)
 			}
-			if store {
-				b.storeVec(pc, target)
-			} else {
-				b.loadVec(pc, target)
-			}
-		}
-	})
+		}}
 }

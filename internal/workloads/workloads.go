@@ -47,32 +47,52 @@ type Spec struct {
 	Input    string // the paper's input size (documentation only)
 	Generate func() *trace.Kernel
 
+	// gridGen is the scalable deferred generator behind Generate for
+	// registry applications (nil for custom specs); Stream and
+	// ScaledKernel derive from it.
+	gridGen func(scale int) gridSpec
+
 	// DominantBucket is the RD bucket (index into rdd.Buckets) expected
 	// to dominate the application's RDD, or -1 when the paper shows a
 	// spread across ranges. Used by validation tests.
 	DominantBucket int
 }
 
+// GenVersion identifies the generators' trace content. Stream cache
+// keys are spec-based ("app:HG:v1:scale1"), not content hashes, so any
+// change to what a generator emits must bump this.
+const GenVersion = 1
+
+// app builds a registry entry from a scalable grid generator.
+func app(name, abbr, suite string, class Class, input string, g func(int) gridSpec, bucket int) Spec {
+	return Spec{
+		Name: name, Abbr: abbr, Suite: suite, Class: class, Input: input,
+		Generate:       func() *trace.Kernel { return g(1).Kernel() },
+		gridGen:        g,
+		DominantBucket: bucket,
+	}
+}
+
 // registry lists the applications in the paper's Table 2 / figure order.
 var registry = []Spec{
-	{"Histogram", "HG", "CUDA Samples", CS, "67108864", genHG, -1},
-	{"Hotspot", "HS", "Rodinia", CS, "512x512", genHS, 0},
-	{"3-D Stencil Operation", "STEN", "Parboil", CS, "512x512x64", genSTEN, 3},
-	{"Separable Convolution", "SC", "Rodinia", CS, "2048x512", genSC, 0},
-	{"Back Propagation", "BP", "Rodinia", CS, "65536", genBP, 0},
-	{"Speckle Reducing Anisotropic Diffusion", "SRAD", "Rodinia", CS, "512x512", genSRAD, 0},
-	{"Needleman-Wunsch", "NW", "Rodinia", CS, "1024x1024", genNW, -1},
-	{"Matrix Multiply-add", "GEMM", "Polybench", CS, "512x512x512", genGEMM, 0},
-	{"B+tree", "BT", "Rodinia", CS, "6000x3000", genBT, 0},
-	{"Computational Fluid Dynamics", "CFD", "Rodinia", CI, "97046", genCFD, 2},
-	{"Page View Rank", "PVR", "Mars", CI, "250000", genPVR, 1},
-	{"Similarity Score", "SS", "Mars", CI, "512x128", genSS, 2},
-	{"Breadth-First Search", "BFS", "Rodinia", CI, "65536", genBFS, -1},
-	{"Matrix Multiplication", "MM", "Mars", CI, "256x256", genMM, -1},
-	{"Symmetric Rank-k", "SRK", "Polybench", CI, "256x256", genSRK, 2},
-	{"Symmetric Rank-2k", "SR2K", "Polybench", CI, "256x256", genSR2K, 2},
-	{"K-means", "KM", "Rodinia", CI, "204800", genKM, 3},
-	{"String Match", "STR", "Mars", CI, "354984", genSTR, 3},
+	app("Histogram", "HG", "CUDA Samples", CS, "67108864", gridHG, -1),
+	app("Hotspot", "HS", "Rodinia", CS, "512x512", gridHS, 0),
+	app("3-D Stencil Operation", "STEN", "Parboil", CS, "512x512x64", gridSTEN, 3),
+	app("Separable Convolution", "SC", "Rodinia", CS, "2048x512", gridSC, 0),
+	app("Back Propagation", "BP", "Rodinia", CS, "65536", gridBP, 0),
+	app("Speckle Reducing Anisotropic Diffusion", "SRAD", "Rodinia", CS, "512x512", gridSRAD, 0),
+	app("Needleman-Wunsch", "NW", "Rodinia", CS, "1024x1024", gridNW, -1),
+	app("Matrix Multiply-add", "GEMM", "Polybench", CS, "512x512x512", gridGEMM, 0),
+	app("B+tree", "BT", "Rodinia", CS, "6000x3000", gridBT, 0),
+	app("Computational Fluid Dynamics", "CFD", "Rodinia", CI, "97046", gridCFD, 2),
+	app("Page View Rank", "PVR", "Mars", CI, "250000", gridPVR, 1),
+	app("Similarity Score", "SS", "Mars", CI, "512x128", gridSS, 2),
+	app("Breadth-First Search", "BFS", "Rodinia", CI, "65536", gridBFS, -1),
+	app("Matrix Multiplication", "MM", "Mars", CI, "256x256", gridMM, -1),
+	app("Symmetric Rank-k", "SRK", "Polybench", CI, "256x256", gridSRK, 2),
+	app("Symmetric Rank-2k", "SR2K", "Polybench", CI, "256x256", gridSR2K, 2),
+	app("K-means", "KM", "Rodinia", CI, "204800", gridKM, 3),
+	app("String Match", "STR", "Mars", CI, "354984", gridSTR, 3),
 }
 
 // All returns the 18 applications in Table 2 order.
@@ -152,6 +172,33 @@ func (s Spec) SharedKernel(lineSize int) *trace.Kernel {
 	k.PrecomputeCoalesced(lineSize)
 	sharedKernels[key] = k
 	return k
+}
+
+// Stream returns a lazily generated trace.Stream of the application at
+// the given scale factor (clamped to >= 1). Scale 1 streams exactly the
+// trace Generate materializes; larger scales multiply the block count
+// and shared footprints. Custom (non-registry) specs fall back to a
+// precomputed-kernel compat stream.
+func (s Spec) Stream(scale int) trace.Stream {
+	if scale < 1 {
+		scale = 1
+	}
+	if s.gridGen == nil {
+		return trace.NewKernelStream(s.Generate())
+	}
+	key := fmt.Sprintf("app:%s:v%d:scale%d", s.Abbr, GenVersion, scale)
+	return newGridStream(s.gridGen(scale), key)
+}
+
+// ScaledKernel materializes the application at the given scale factor —
+// the eager counterpart of Stream, for differential tests and
+// small-scale reference runs. Scale <= 1 (or a custom spec) is exactly
+// Generate.
+func (s Spec) ScaledKernel(scale int) *trace.Kernel {
+	if s.gridGen == nil || scale <= 1 {
+		return s.Generate()
+	}
+	return s.gridGen(scale).Kernel()
 }
 
 // SortedByRatio returns specs sorted ascending by the memory-access
