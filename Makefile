@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test faultcheck conform fuzzsmoke streamsmoke figures bench benchgate clean
+.PHONY: all build vet check test faultcheck conform fuzzsmoke streamsmoke scalesmoke figures bench benchgate clean
 
 all: build
 
@@ -27,12 +27,13 @@ faultcheck: build
 	$(GO) test -race -run 'TestFaultTolerantSuiteAcceptance|TestSelfCheckOutputIdentical' .
 
 # Replay the committed conformance corpus: every case re-simulates
-# serially, with phase shards, and with fast-forward disabled, and the
+# serially, with phase shards, with fast-forward disabled, and at extra
+# odd core counts (3/5/7 leave the steal spans uneven), and the
 # normalized stats must match expected_stats.json byte for byte. After
 # an intentional behavior change, regenerate with
 # `go run ./cmd/conform -update` and commit the diff.
 conform: build
-	$(GO) run ./cmd/conform -j 8
+	$(GO) run ./cmd/conform -j 8 -extra-cores 3,5,7
 
 # Fixed-seed differential fuzz smoke under the race detector: 200
 # random (config, policy, workload) triples run serial vs sharded vs
@@ -61,14 +62,15 @@ streamsmoke: build
 
 # Regenerate the tracked performance baseline: every benchmark (with
 # allocation reporting baked into the benchmarks themselves) plus one
-# serial RunSuite(PaperSchemes()) wall-clock pass, distilled into
-# BENCH_PR8.json by cmd/benchjson — and, via -ledger, into the per-host
+# serial RunSuite(PaperSchemes()) wall-clock pass and the
+# BenchmarkEngineScaling cores=1/2/4/8 curve, distilled into
+# BENCH_PR9.json by cmd/benchjson — and, via -ledger, into the per-host
 # baseline BENCH_<fingerprint>.json so this machine class hard-gates
-# wall time from now on. `make benchgate` re-measures just the suite
-# wall pass and fails when it regressed >15% against the committed
-# baseline — the same gate CI runs.
+# wall time and the scaling curve from now on. `make benchgate`
+# re-measures just the suite wall pass and fails when it regressed >15%
+# against the committed baseline — the same gate CI runs.
 bench: build
-	$(GO) test -run '^$$' -bench . -timeout 60m . ./internal/sm/ | $(GO) run ./cmd/benchjson -o BENCH_PR8.json -ledger .
+	$(GO) test -run '^$$' -bench . -timeout 60m . ./internal/sm/ ./internal/sim/ ./internal/interconnect/ | $(GO) run ./cmd/benchjson -o BENCH_PR9.json -ledger .
 
 # The gate measures the wall headline (one 1x pass) plus the zero-alloc
 # hot-path benchmarks (enough iterations to amortize warm-up), the
@@ -78,9 +80,23 @@ bench: build
 # binary) gate everywhere.
 benchgate: build
 	$(GO) test -run '^$$' -bench 'BenchmarkSuitePaperWall' -benchtime 1x -timeout 30m . > /tmp/bench_fresh.txt
-	$(GO) test -run '^$$' -bench 'BenchmarkL1DAccess|BenchmarkPDPTSample|BenchmarkIssueStorePath' -benchtime 10000x -timeout 30m . ./internal/sm/ >> /tmp/bench_fresh.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkL1DAccess|BenchmarkPDPTSample|BenchmarkIssueStorePath|BenchmarkLanePushBatch|BenchmarkStealScheduleStep' -benchtime 10000x -timeout 30m . ./internal/sm/ ./internal/sim/ ./internal/interconnect/ >> /tmp/bench_fresh.txt
 	$(GO) run ./cmd/benchjson -o /tmp/bench_fresh.json < /tmp/bench_fresh.txt
-	$(GO) run ./cmd/benchgate -baselines . -baseline BENCH_PR8.json -fresh /tmp/bench_fresh.json -max-regress-pct 15
+	$(GO) run ./cmd/benchgate -baselines . -baseline BENCH_PR9.json -fresh /tmp/bench_fresh.json -max-regress-pct 15
+
+# Multi-core determinism smoke under the race detector: the same
+# dlpsim run serially and at -cores 0 (auto: all host CPUs) with the
+# invariant sweeps on, printed stats diffed byte for byte. Both runs
+# ride two different workloads so a core-count-dependent divergence in
+# either the baseline or the DLP machinery would surface.
+scalesmoke: build
+	$(GO) run -race ./cmd/dlpsim -app HS -policy dlp -selfcheck -cores 1 > /tmp/scalesmoke_c1.txt
+	$(GO) run -race ./cmd/dlpsim -app HS -policy dlp -selfcheck -cores 0 > /tmp/scalesmoke_cN.txt
+	cmp /tmp/scalesmoke_c1.txt /tmp/scalesmoke_cN.txt
+	$(GO) run -race ./cmd/dlpsim -app BFS -policy baseline -selfcheck -cores 1 > /tmp/scalesmoke_b1.txt
+	$(GO) run -race ./cmd/dlpsim -app BFS -policy baseline -selfcheck -cores 0 > /tmp/scalesmoke_bN.txt
+	cmp /tmp/scalesmoke_b1.txt /tmp/scalesmoke_bN.txt
+	@echo "scalesmoke: serial and all-core runs are byte-identical"
 
 # Regenerate the committed reference outputs.
 figures:

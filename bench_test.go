@@ -440,3 +440,30 @@ func BenchmarkWorkloadGen(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEngineScaling is the tracked scaling curve: the same MM
+// workload at cores 1, 2, 4 and 8, in ascending order so cmd/benchjson
+// can derive wall seconds and speedups for the ledger's scaling array
+// (which cmd/benchgate then gates — monotonic speedup everywhere, >= 3x
+// at the top point on hosts with enough CPUs). GOMAXPROCS is left
+// alone: the curve must reflect what this host actually grants, so a
+// single-CPU box records an honest flat curve and the gate judges it
+// accordingly.
+func BenchmarkEngineScaling(b *testing.B) {
+	w, err := WorkloadByAbbr("MM")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := BaselineConfig()
+	k := w.SharedKernel(cfg.L1D.LineSize)
+	for _, cores := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("cores=%d", cores), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := RunWithOptions(cfg, DLP, k, Options{Cores: cores}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

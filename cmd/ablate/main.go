@@ -124,13 +124,19 @@ func main() {
 	retries := flag.Int("retries", 0, "extra attempts for transiently failed jobs")
 	timeout := flag.Duration("timeout", 0, "per-job wall-clock budget (e.g. 5m); 0 = none")
 	selfCheck := flag.Bool("selfcheck", false, "enable sampled engine invariant sweeps on every job")
-	cores := flag.Int("cores", 1, "phase-parallel shards inside each simulation (Workers x cores capped at GOMAXPROCS); output is identical at any value")
+	cores := flag.Int("cores", 1, "phase-parallel shards inside each simulation (0 = auto: all host CPUs; Workers x cores capped at GOMAXPROCS); output is identical at any value")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsPath := flag.String("metrics", "", "stream cycle-domain counter samples (JSONL) to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
 	metricsEvery := flag.Uint64("metrics-every", 0, "sampling period in cycles for -metrics; 0 = default (4096)")
 	flag.Parse()
+
+	resolvedCores, err := cli.ResolveCores(*cores)
+	if err != nil {
+		fatal(err)
+	}
+	*cores = resolvedCores
 
 	if err := prof.Start(*cpuProfile, *memProfile); err != nil {
 		fatal(err)
@@ -141,7 +147,6 @@ func main() {
 	defer stop()
 
 	cache := dlpsim.NewRunCache()
-	var err error
 	obs, err = cli.OpenObservability(*metricsPath, *tracePath, cache)
 	if err != nil {
 		fatal(err)

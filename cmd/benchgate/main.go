@@ -24,9 +24,17 @@
 // flaky, whereas a full-suite wall pass integrates enough work to make
 // >15% a real signal.
 //
+// The multi-core scaling curve (scaling, derived from the
+// BenchmarkEngineScaling/cores=N sub-benchmarks) is gated wherever a
+// document carries one: speedup must not collapse as cores are added,
+// and on hosts with at least as many CPUs as the curve's top point the
+// top speedup must reach -min-scaling. Both checks judge a curve only
+// as far as its recording host could actually parallelize, so a
+// single-CPU machine records an honest flat curve without failing.
+//
 // Usage:
 //
-//	benchgate -baselines . -baseline BENCH_PR8.json -fresh /tmp/bench_fresh.json -max-regress-pct 15
+//	benchgate -baselines . -baseline BENCH_PR9.json -fresh /tmp/bench_fresh.json -max-regress-pct 15
 package main
 
 import (
@@ -42,10 +50,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchgate: ")
-	basePath := flag.String("baseline", "BENCH_PR8.json", "committed baseline document (fallback when -baselines has no entry for this host)")
+	basePath := flag.String("baseline", "BENCH_PR9.json", "committed baseline document (fallback when -baselines has no entry for this host)")
 	ledgerDir := flag.String("baselines", "", "per-host baseline ledger directory (BENCH_<fingerprint>.json files)")
 	freshPath := flag.String("fresh", "", "fresh measurement to gate (required)")
 	maxPct := flag.Float64("max-regress-pct", 15, "maximum allowed suite-wall regression in percent")
+	minScaling := flag.Float64("min-scaling", 3, "required top-point speedup of any recorded scaling curve (enforced only on hosts with enough CPUs)")
 	flag.Parse()
 	if *freshPath == "" {
 		log.Fatal("-fresh is required")
@@ -110,6 +119,25 @@ func main() {
 
 	if err := benchfmt.CheckAllocs(base, fresh); err != nil {
 		log.Fatal(err)
+	}
+
+	// The scaling curve gates wherever one is recorded: the committed
+	// baseline's curve testifies about its own recording host, so it is
+	// checked even when the wall gate below has to warn-skip.
+	for _, doc := range []struct {
+		label string
+		b     *benchfmt.Baseline
+	}{{"baseline", base}, {"fresh", fresh}} {
+		if len(doc.b.Scaling) == 0 {
+			continue
+		}
+		fmt.Printf("%s scaling curve:\n", doc.label)
+		for _, p := range doc.b.Scaling {
+			fmt.Printf("  cores=%d %8.2fs  %5.2fx\n", p.Cores, p.WallSeconds, p.Speedup)
+		}
+		if err := benchfmt.CheckScaling(doc.b, *minScaling); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if !hostGated && !benchfmt.HostMatches(base.Host, freshHost) {

@@ -35,6 +35,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -52,6 +54,7 @@ func main() {
 	jobs := flag.Int("j", 8, "cases simulated in parallel")
 	timeout := flag.Duration("timeout", 2*time.Minute, "wall-clock budget per variant; 0 = none")
 	quiet := flag.Bool("q", false, "only print failing cases and the summary")
+	extraCores := flag.String("extra-cores", "", "comma-separated extra cores=N variants appended to every case")
 	flag.Parse()
 	if *jobs < 1 {
 		log.Fatalf("-j %d: must be >= 1", *jobs)
@@ -77,6 +80,15 @@ func main() {
 	defer stop()
 
 	rc := conform.RunConfig{Timeout: *timeout, Update: *update}
+	if *extraCores != "" {
+		for _, part := range strings.Split(*extraCores, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				log.Fatalf("-extra-cores %q: each entry must be a positive integer", *extraCores)
+			}
+			rc.ExtraCores = append(rc.ExtraCores, n)
+		}
+	}
 
 	// Run cases in parallel, but print results in corpus order so the
 	// report is stable at any -j.

@@ -72,7 +72,7 @@ func main() {
 	retries := flag.Int("retries", 0, "extra attempts on transient failures")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the run (e.g. 5m); 0 = none")
 	selfCheck := flag.Bool("selfcheck", false, "enable sampled engine invariant sweeps")
-	cores := flag.Int("cores", 1, "phase-parallel shards inside the simulation; output is identical at any value")
+	cores := flag.Int("cores", 1, "phase-parallel shards inside the simulation (0 = auto: all host CPUs); output is identical at any value")
 	metricsPath := flag.String("metrics", "", "stream cycle-domain counter samples (JSONL) to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file (open in Perfetto)")
 	metricsEvery := flag.Uint64("metrics-every", 0, "sampling period in cycles for -metrics; 0 = default (4096)")
@@ -80,9 +80,11 @@ func main() {
 	streamFile := flag.String("stream-file", "", "replay a chunked trace file recorded with dlptrace instead of -app")
 	scale := flag.Int("scale", 1, "workload scale factor (blocks and footprint); >1 implies larger grids")
 	flag.Parse()
-	if *cores < 1 {
-		log.Fatalf("-cores %d: must be >= 1", *cores)
+	resolvedCores, err := cli.ResolveCores(*cores)
+	if err != nil {
+		log.Fatal(err)
 	}
+	*cores = resolvedCores
 	if *scale < 1 {
 		log.Fatalf("-scale %d: must be >= 1", *scale)
 	}

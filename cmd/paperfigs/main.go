@@ -134,7 +134,7 @@ func main() {
 	retries := flag.Int("retries", 0, "extra attempts for transiently failed jobs")
 	timeout := flag.Duration("timeout", 0, "per-job wall-clock budget (e.g. 5m); 0 = none")
 	selfCheck := flag.Bool("selfcheck", false, "enable sampled engine invariant sweeps on every job")
-	coresFlag := flag.Int("cores", 1, "phase-parallel shards inside each simulation (Workers x cores capped at GOMAXPROCS); output is identical at any value")
+	coresFlag := flag.Int("cores", 1, "phase-parallel shards inside each simulation (0 = auto: all host CPUs; Workers x cores capped at GOMAXPROCS); output is identical at any value")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsPath := flag.String("metrics", "", "stream cycle-domain counter samples (JSONL) to this file")
@@ -147,6 +147,11 @@ func main() {
 	if *scaleFlag < 1 {
 		log.Fatalf("-scale %d: must be >= 1", *scaleFlag)
 	}
+	resolvedCores, err := cli.ResolveCores(*coresFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	*coresFlag = resolvedCores
 	useCSV := strings.EqualFold(*format, "csv")
 
 	check(prof.Start(*cpuProfile, *memProfile))
@@ -171,7 +176,6 @@ func main() {
 		cache, err = dlpsim.OpenRunCache(*cacheDir)
 		check(err)
 	}
-	var err error
 	obs, err = cli.OpenObservability(*metricsPath, *tracePath, cache)
 	check(err)
 	defer obs.Close()

@@ -56,12 +56,12 @@ func main() {
 	maxSamples := flag.Int("samples", 20, "sampling periods to trace")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the replay (e.g. 1m); 0 = none")
 	selfCheck := flag.Bool("selfcheck", false, "verify DLP invariants after every printed sample")
-	cores := flag.Int("cores", 1, "accepted for CLI uniformity; the single-cache replay is inherently serial")
+	cores := flag.Int("cores", 1, "accepted for CLI uniformity (0 = auto); the single-cache replay is inherently serial")
 	metricsPath := flag.String("metrics", "", "stream the L1D counter registry (JSONL, one row per sample) to this file")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the samples to this file (open in Perfetto)")
 	flag.Parse()
-	if *cores < 1 {
-		log.Fatalf("-cores %d: must be >= 1", *cores)
+	if _, err := cli.ResolveCores(*cores); err != nil {
+		log.Fatal(err)
 	}
 
 	// The observability outputs are opened before the replay so a bad

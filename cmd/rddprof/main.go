@@ -22,6 +22,7 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"repro/internal/cli"
 	"repro/internal/config"
 	"repro/internal/rdd"
 	"repro/internal/workloads"
@@ -32,11 +33,13 @@ func main() {
 	log.SetPrefix("rddprof: ")
 	app := flag.String("app", "", "profile a single application's per-PC RDD (Fig. 7)")
 	sizeKB := flag.Int("size", 16, "L1D capacity in KB (16, 32 or 64)")
-	cores := flag.Int("cores", 1, "goroutines per profile (per-SM replays run in parallel); output is identical at any value")
+	cores := flag.Int("cores", 1, "goroutines per profile (0 = auto: all host CPUs; per-SM replays run in parallel); output is identical at any value")
 	flag.Parse()
-	if *cores < 1 {
-		log.Fatalf("-cores %d: must be >= 1", *cores)
+	resolvedCores, err := cli.ResolveCores(*cores)
+	if err != nil {
+		log.Fatal(err)
 	}
+	*cores = resolvedCores
 
 	cfg, err := config.ByL1DSize(*sizeKB)
 	if err != nil {

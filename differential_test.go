@@ -45,13 +45,14 @@ func diffKernel() *trace.Kernel {
 }
 
 // TestCrossPolicyDifferential runs every registered policy on the same
-// kernel twice — serially, and with two phase shards plus the sampled
-// invariant sweeps — and requires bit-identical statistics. Under
-// `-race` (the CI differential job) this also drives each policy's
-// hooks through the phase-parallel engine's concurrency. A final check
-// confirms the policies actually diverge from the baseline, so a
-// registry mis-wiring that silently ran everything as Baseline would
-// not pass as seven vacuous equalities.
+// kernel serially and at several parallel core counts — including odd
+// ones that leave the steal spans uneven — with the sampled invariant
+// sweeps on, and requires bit-identical statistics. Under `-race` (the
+// CI differential job) this also drives each policy's hooks through the
+// phase-parallel engine's concurrency. A final check confirms the
+// policies actually diverge from the baseline, so a registry mis-wiring
+// that silently ran everything as Baseline would not pass as seven
+// vacuous equalities.
 func TestCrossPolicyDifferential(t *testing.T) {
 	cfg := BaselineConfig()
 	k := diffKernel()
@@ -61,13 +62,15 @@ func TestCrossPolicyDifferential(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v serial: %v", p, err)
 		}
-		sharded, err := RunWithOptions(cfg, p, k, Options{Cores: 2, SelfCheck: true})
-		if err != nil {
-			t.Fatalf("%v cores=2: %v", p, err)
-		}
-		if *serial != *sharded {
-			t.Errorf("%v: serial and cores=2 stats differ\nserial:  %+v\ncores=2: %+v",
-				p, serial, sharded)
+		for _, cores := range []int{2, 3, 5, 7} {
+			sharded, err := RunWithOptions(cfg, p, k, Options{Cores: cores, SelfCheck: true})
+			if err != nil {
+				t.Fatalf("%v cores=%d: %v", p, cores, err)
+			}
+			if *serial != *sharded {
+				t.Errorf("%v: serial and cores=%d stats differ\nserial:  %+v\ncores=%d: %+v",
+					p, serial, cores, cores, sharded)
+			}
 		}
 		if serial.Instructions == 0 || serial.L1DAccesses == 0 {
 			t.Errorf("%v: kernel did no work: %+v", p, serial)

@@ -227,7 +227,7 @@ func TestPhasePanicSurfacesAsJobPanicError(t *testing.T) {
 	if ppe.Value != "injected phase fault" {
 		t.Errorf("phase panic value = %v, want the injected fault", ppe.Value)
 	}
-	if !strings.Contains(string(ppe.Stack), "tickShard") {
+	if !strings.Contains(string(ppe.Stack), "runSpans") {
 		t.Errorf("phase panic stack does not show the phase worker:\n%s", ppe.Stack)
 	}
 

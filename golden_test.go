@@ -226,6 +226,56 @@ func TestGoldenSuiteIdentityCores8(t *testing.T) {
 	}
 }
 
+// TestGoldenSuiteIdentityOddCores checks the work-stealing schedule at
+// core counts that never divide the component count evenly — the span
+// layouts where a striding bug would first show. Same subset-and-cell
+// comparison as the cores=8 test; cores=2 above still covers the full
+// grid.
+func TestGoldenSuiteIdentityOddCores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation suite skipped in -short mode")
+	}
+	withGOMAXPROCS(t, 8)
+	var apps []Workload
+	for _, abbr := range []string{"BP", "HS"} {
+		w, err := WorkloadByAbbr(abbr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps = append(apps, w)
+	}
+
+	var w goldenSuite
+	if err := json.Unmarshal(readGolden(t), &w); err != nil {
+		t.Fatalf("golden file: %v", err)
+	}
+	cells := make(map[string]map[string]*Stats, len(w.Apps))
+	for i, app := range w.Apps {
+		cells[app] = w.Stats[i]
+	}
+
+	for _, cores := range []int{3, 5, 7} {
+		res, err := RunSuite(context.Background(), PaperSchemes(),
+			&SuiteOptions{Workers: 1, Cores: cores, SelfCheck: true, Apps: apps})
+		if err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+		for _, app := range apps {
+			for _, sc := range res.Schemes {
+				got := res.Stats[app.Abbr][sc.Name]
+				want := cells[app.Abbr][sc.Name]
+				if got == nil || want == nil {
+					t.Fatalf("cores=%d: %s/%s: missing cell (got=%v want=%v)", cores, app.Abbr, sc.Name, got, want)
+				}
+				if *got != *want {
+					t.Errorf("-cores %d: %s/%s diverged:\n got: %+v\nwant: %+v",
+						cores, app.Abbr, sc.Name, *got, *want)
+				}
+			}
+		}
+	}
+}
+
 // TestGoldenSharedSuiteMatches cross-checks the suite the headline tests
 // share (run at default workers, no self-check) against the same golden
 // bytes, so every headline assertion is known to have executed on

@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -98,6 +99,15 @@ func HostMatches(a, b *Host) bool {
 	return *a == *b
 }
 
+// ScalingPoint is one point of the multi-core scaling curve: the wall
+// time of a fixed reference workload at a given engine core count, and
+// its speedup over the curve's cores=1 point.
+type ScalingPoint struct {
+	Cores       int     `json:"cores"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Speedup     float64 `json:"speedup"`
+}
+
 // Baseline is the tracked performance document.
 type Baseline struct {
 	// SuiteWallSeconds is one serial (one-worker) pass over the paper's
@@ -105,6 +115,12 @@ type Baseline struct {
 	// from the BenchmarkSuitePaperWall result.
 	SuiteWallSeconds float64  `json:"suite_wall_seconds"`
 	Benchmarks       []Result `json:"benchmarks"`
+	// Scaling is the engine's multi-core scaling curve, derived from
+	// the BenchmarkEngineScaling/cores=N sub-benchmarks in ascending
+	// core order. Only meaningful for the core counts the measuring
+	// host could actually run in parallel — CheckScaling consults
+	// Host.NumCPU before judging a point.
+	Scaling []ScalingPoint `json:"scaling,omitempty"`
 	// Host is the fingerprint of the measuring machine, stamped by
 	// cmd/benchjson; older documents lack it.
 	Host *Host `json:"host,omitempty"`
@@ -149,7 +165,95 @@ func Parse(r io.Reader) (*Baseline, error) {
 	if len(doc.Benchmarks) == 0 {
 		return nil, fmt.Errorf("benchfmt: no benchmark lines found")
 	}
+	doc.Scaling = deriveScaling(doc.Benchmarks)
 	return doc, nil
+}
+
+// scalingName extracts N from a "BenchmarkEngineScaling/cores=N" name;
+// ok is false for every other benchmark.
+func scalingName(name string) (cores int, ok bool) {
+	const prefix = "BenchmarkEngineScaling/cores="
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(name[len(prefix):])
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// deriveScaling builds the scaling curve from the
+// BenchmarkEngineScaling/cores=N results. Speedups are relative to the
+// curve's own cores=1 point; without one (or with fewer than two
+// points) there is no curve.
+func deriveScaling(benchmarks []Result) []ScalingPoint {
+	var curve []ScalingPoint
+	var base float64
+	for _, r := range benchmarks {
+		c, ok := scalingName(r.Name)
+		if !ok {
+			continue
+		}
+		if c == 1 {
+			base = r.NsPerOp
+		}
+		curve = append(curve, ScalingPoint{Cores: c, WallSeconds: r.NsPerOp / 1e9})
+	}
+	if len(curve) < 2 || base <= 0 {
+		return nil
+	}
+	sort.Slice(curve, func(i, j int) bool { return curve[i].Cores < curve[j].Cores })
+	for i := range curve {
+		if curve[i].WallSeconds > 0 {
+			curve[i].Speedup = base / 1e9 / curve[i].WallSeconds
+		}
+	}
+	return curve
+}
+
+// CheckScaling gates a baseline's multi-core scaling curve. Two
+// properties are enforced, each only as far as the measuring host can
+// testify:
+//
+//   - Monotonicity: adding cores must not slow the engine down. Checked
+//     between consecutive points whose core counts the host could run
+//     in true parallel (cores <= Host.NumCPU), with a 10% allowance for
+//     scheduler noise. On a single-CPU host every parallel point is
+//     excluded and the check is vacuous — honest, since no parallelism
+//     was actually measured.
+//
+//   - Top speedup: the curve's highest-core point must reach at least
+//     minTopSpeedup. Enforced only when the host has at least that many
+//     CPUs; a smaller machine cannot measure the claim either way.
+//
+// A document with no curve passes (older baselines predate the field).
+func CheckScaling(b *Baseline, minTopSpeedup float64) error {
+	if len(b.Scaling) == 0 {
+		return nil
+	}
+	ncpu := 0
+	if b.Host != nil {
+		ncpu = b.Host.NumCPU
+	}
+	prev := ScalingPoint{}
+	have := false
+	for _, p := range b.Scaling {
+		if p.Cores > ncpu {
+			continue
+		}
+		if have && p.Speedup < prev.Speedup*0.9 {
+			return fmt.Errorf("benchfmt: scaling regressed between cores=%d (%.2fx) and cores=%d (%.2fx): more cores ran slower",
+				prev.Cores, prev.Speedup, p.Cores, p.Speedup)
+		}
+		prev, have = p, true
+	}
+	top := b.Scaling[len(b.Scaling)-1]
+	if ncpu >= top.Cores && top.Speedup < minTopSpeedup {
+		return fmt.Errorf("benchfmt: cores=%d speedup is %.2fx, need >= %.1fx on a %d-CPU host",
+			top.Cores, top.Speedup, minTopSpeedup, ncpu)
+	}
+	return nil
 }
 
 // Encode serializes the document the way the tracked files store it:

@@ -232,3 +232,101 @@ func TestLedgerFindBaseline(t *testing.T) {
 		t.Errorf("cross-class copy: err = %v, want a fingerprint mismatch error", err)
 	}
 }
+
+const scalingBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkEngineScaling/cores=1-8     	       2	 800000000 ns/op
+BenchmarkEngineScaling/cores=2-8     	       3	 420000000 ns/op
+BenchmarkEngineScaling/cores=4-8     	       5	 230000000 ns/op
+BenchmarkEngineScaling/cores=8-8     	       8	 130000000 ns/op
+BenchmarkSuitePaperWall              	       1	51200000000 ns/op
+PASS
+`
+
+func TestParseDerivesScalingCurve(t *testing.T) {
+	doc, err := Parse(strings.NewReader(scalingBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Scaling) != 4 {
+		t.Fatalf("curve has %d points, want 4: %+v", len(doc.Scaling), doc.Scaling)
+	}
+	wantCores := []int{1, 2, 4, 8}
+	wantSpeedup := []float64{1, 800.0 / 420, 800.0 / 230, 800.0 / 130}
+	for i, p := range doc.Scaling {
+		if p.Cores != wantCores[i] {
+			t.Errorf("point %d: cores = %d, want %d", i, p.Cores, wantCores[i])
+		}
+		if diff := p.Speedup - wantSpeedup[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("point %d: speedup = %v, want %v", i, p.Speedup, wantSpeedup[i])
+		}
+	}
+	if doc.Scaling[0].WallSeconds != 0.8 {
+		t.Errorf("cores=1 wall = %v s, want 0.8", doc.Scaling[0].WallSeconds)
+	}
+}
+
+func TestParseNoScalingWithoutSerialPoint(t *testing.T) {
+	doc, err := Parse(strings.NewReader(`BenchmarkEngineScaling/cores=2-8 3 400000000 ns/op
+BenchmarkEngineScaling/cores=4-8 5 200000000 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Scaling != nil {
+		t.Fatalf("curve derived without a cores=1 reference: %+v", doc.Scaling)
+	}
+}
+
+func TestCheckScaling(t *testing.T) {
+	curve := func(speedups ...float64) []ScalingPoint {
+		cores := []int{1, 2, 4, 8}
+		out := make([]ScalingPoint, len(speedups))
+		for i, s := range speedups {
+			out[i] = ScalingPoint{Cores: cores[i], WallSeconds: 1 / s, Speedup: s}
+		}
+		return out
+	}
+	host := func(ncpu int) *Host { return &Host{NumCPU: ncpu, GOMAXPROCS: ncpu, GOARCH: "amd64"} }
+
+	// Healthy curve on a big host: passes the >= 3x top-speedup gate.
+	ok := &Baseline{Scaling: curve(1, 1.9, 3.4, 5.8), Host: host(16)}
+	if err := CheckScaling(ok, 3); err != nil {
+		t.Errorf("healthy curve rejected: %v", err)
+	}
+
+	// Flat curve on a single-CPU host: every parallel point is beyond
+	// the host's CPUs, so both gates are vacuous — the honest outcome.
+	flat := &Baseline{Scaling: curve(1, 0.98, 0.97, 0.95), Host: host(1)}
+	if err := CheckScaling(flat, 3); err != nil {
+		t.Errorf("single-CPU host must not be gated on parallelism it cannot measure: %v", err)
+	}
+
+	// Same flat curve recorded on a 16-CPU host: fails the top gate.
+	if err := CheckScaling(&Baseline{Scaling: curve(1, 0.98, 0.97, 0.95), Host: host(16)}, 3); err == nil {
+		t.Error("flat curve on a 16-CPU host must fail the top-speedup gate")
+	}
+
+	// Non-monotonic curve within the host's CPUs: more cores ran
+	// slower by more than the 10% allowance.
+	if err := CheckScaling(&Baseline{Scaling: curve(1, 3.0, 2.0, 3.5), Host: host(16)}, 3); err == nil {
+		t.Error("speedup collapse between cores=2 and cores=4 must fail monotonicity")
+	}
+
+	// Small dips inside the allowance pass.
+	if err := CheckScaling(&Baseline{Scaling: curve(1, 2.0, 1.95, 3.2), Host: host(16)}, 3); err != nil {
+		t.Errorf("a <10%% dip must pass: %v", err)
+	}
+
+	// Hosts smaller than the top point skip the top gate but still
+	// check monotonicity over the points they could run.
+	if err := CheckScaling(&Baseline{Scaling: curve(1, 0.4, 2.9, 2.9), Host: host(2)}, 3); err == nil {
+		t.Error("cores=2 slower than cores=1 on a 2-CPU host must fail")
+	}
+
+	// No curve at all (older documents): passes.
+	if err := CheckScaling(&Baseline{}, 3); err != nil {
+		t.Errorf("curve-less baseline rejected: %v", err)
+	}
+}

@@ -15,11 +15,36 @@ package cli
 import (
 	"context"
 	"errors"
+	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/metrics"
 	"repro/internal/runner"
 )
+
+// ResolveCores maps a -cores flag value to an effective core count.
+// 0 means "auto": use every CPU the scheduler will actually grant —
+// min(NumCPU, GOMAXPROCS), never below 1. Positive values pass through
+// unchanged (the engine clamps to its component count); negative
+// values are an error. Shared by every command exposing -cores so
+// "auto" means the same thing everywhere.
+func ResolveCores(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("-cores %d: must be >= 0 (0 = auto)", n)
+	}
+	if n > 0 {
+		return n, nil
+	}
+	c := runtime.NumCPU()
+	if p := runtime.GOMAXPROCS(0); p < c {
+		c = p
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c, nil
+}
 
 // ExitInterrupted is the exit status after Ctrl-C (128 + SIGINT).
 const ExitInterrupted = 130

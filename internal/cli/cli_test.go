@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"repro/internal/metrics"
@@ -117,5 +118,34 @@ func TestOpenObservabilityBadPath(t *testing.T) {
 	}
 	if _, err := OpenObservability("", filepath.Join(t.TempDir(), "no/such/dir/t.json"), nil); err == nil {
 		t.Fatal("expected error for unwritable trace path")
+	}
+}
+
+func TestResolveCores(t *testing.T) {
+	// Positive values pass through untouched.
+	for _, n := range []int{1, 3, 64} {
+		got, err := ResolveCores(n)
+		if err != nil || got != n {
+			t.Errorf("ResolveCores(%d) = %d, %v; want %d, nil", n, got, err, n)
+		}
+	}
+	// Negative is a flag error, not a silent clamp.
+	if _, err := ResolveCores(-1); err == nil {
+		t.Error("ResolveCores(-1) accepted")
+	}
+	// 0 = auto: every CPU the scheduler will grant, never below 1.
+	got, err := ResolveCores(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runtime.NumCPU()
+	if p := runtime.GOMAXPROCS(0); p < want {
+		want = p
+	}
+	if want < 1 {
+		want = 1
+	}
+	if got != want {
+		t.Errorf("ResolveCores(0) = %d, want %d (min of NumCPU and GOMAXPROCS)", got, want)
 	}
 }

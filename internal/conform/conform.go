@@ -433,6 +433,13 @@ type RunConfig struct {
 	// Update rewrites expected_stats.json from the reference run
 	// instead of comparing, provided every variant agrees.
 	Update bool
+	// ExtraCores appends additional cores=N variants to every case's
+	// run matrix (duplicates of the spec's own core counts are
+	// skipped). The corpus's determinism guarantee is core-count
+	// independence, so a harness can widen the sweep — e.g. to odd
+	// counts that leave the steal spans uneven — without editing any
+	// case spec.
+	ExtraCores []int
 }
 
 // Run executes the case's full variant matrix and returns its verdict.
@@ -445,6 +452,18 @@ func (c *Case) Run(ctx context.Context, rc RunConfig) *Result {
 	}
 
 	variants := c.Spec.Variants()
+	for _, extra := range rc.ExtraCores {
+		dup := false
+		for _, v := range variants {
+			if !v.DisableFastForward && !v.Streamed && v.Cores == extra {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			variants = append(variants, Variant{Name: fmt.Sprintf("cores=%d,extra", extra), Cores: extra})
+		}
+	}
 	var stream trace.Stream
 	for _, v := range variants {
 		if v.Streamed {

@@ -281,3 +281,20 @@ func TestVariantsMatrix(t *testing.T) {
 		t.Errorf("default variants wrong: %+v", vs)
 	}
 }
+
+func TestExtraCoresVariants(t *testing.T) {
+	root := t.TempDir()
+	c := writeTestCase(t, root, "tiny-extra", tinySpec())
+
+	// The extra sweep re-runs the case at cores the spec never lists;
+	// duplicates of the spec's own counts (here 1 and 2) are skipped,
+	// so the run exercises exactly the odd counts on top of the matrix.
+	res := c.Run(context.Background(), RunConfig{
+		Timeout:    time.Minute,
+		ExtraCores: []int{2, 3, 5, 7},
+	})
+	if res.Outcome != Pass {
+		t.Fatalf("extra-cores sweep failed: %s (err %v, variant %q)\n%s",
+			res.Outcome, res.Err, res.Variant, res.Diff)
+	}
+}

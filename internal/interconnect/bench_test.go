@@ -1,0 +1,51 @@
+package interconnect
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// BenchmarkLanePushBatch measures the steady-state lane merge: one
+// per-span lane batch handed to PushBatch (ownership transfer, no
+// copying), the network ticked until the batch arrives and is popped,
+// and the recycled segment reused as the next cycle's lane. This is the
+// engine's per-cycle crossbar pattern; it must stay allocation-free
+// once the segment free list is warm.
+func BenchmarkLanePushBatch(b *testing.B) {
+	const batchSize = 8
+	n := New(2, 64, 32, 128, &stats.Stats{})
+	reqs := make([]*mem.Request, batchSize)
+	for i := range reqs {
+		reqs[i] = &mem.Request{SM: i}
+	}
+	lane := make([]*mem.Request, 0, batchSize)
+	now := uint64(0)
+
+	cycle := func() {
+		lane = append(lane[:0], reqs...)
+		lane = n.PushBatch(ToMem, lane)
+		for {
+			n.Tick(now)
+			now++
+			popped := 0
+			for n.PopArrived(ToMem) != nil {
+				popped++
+			}
+			if popped == batchSize {
+				break
+			}
+		}
+	}
+	// Two warm cycles: the first seeds the segment free list, the
+	// second starts the lane-reuse steady state (PushBatch returns the
+	// first cycle's recycled segment).
+	cycle()
+	cycle()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+}

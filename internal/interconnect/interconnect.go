@@ -86,10 +86,57 @@ func (h *packetHeap) pop() packet {
 }
 
 type direction struct {
-	waiting  []*mem.Request // injection queue, unbounded
+	// The injection queue is a FIFO of segments. PushBatch hands over a
+	// whole lane of packets as one segment — an O(1) slice handoff, no
+	// per-packet copying — which is what lets the engine's serial merge
+	// do O(lanes) work per cycle instead of O(packets). Single-packet
+	// Push appends to an "open" tail segment, so packet-at-a-time
+	// callers (tests, simple harnesses) see plain FIFO semantics.
+	// off is the consumed prefix of segs[0]; count is the total queued
+	// across all segments. Fully consumed segments are recycled through
+	// free and handed back to PushBatch callers, so the steady state
+	// allocates nothing.
+	segs     [][]*mem.Request
+	off      int
+	count    int
+	openTail bool
+	free     [][]*mem.Request
 	inFlight packetHeap
 	budget   int // flits remaining this cycle
 	sent     int // flits of the head waiting packet already on the wire
+}
+
+// head returns the oldest waiting packet. Caller checks count > 0.
+func (d *direction) head() *mem.Request { return d.segs[0][d.off] }
+
+// popHead consumes the oldest waiting packet, recycling its segment
+// once fully drained.
+func (d *direction) popHead() {
+	d.segs[0][d.off] = nil
+	d.off++
+	d.count--
+	if d.off == len(d.segs[0]) {
+		d.free = append(d.free, d.segs[0][:0])
+		copy(d.segs, d.segs[1:])
+		d.segs[len(d.segs)-1] = nil
+		d.segs = d.segs[:len(d.segs)-1]
+		d.off = 0
+		if len(d.segs) == 0 {
+			d.openTail = false
+		}
+	}
+}
+
+// grabFree pops a recycled empty segment, or nil when none is banked.
+func (d *direction) grabFree() []*mem.Request {
+	n := len(d.free)
+	if n == 0 {
+		return nil
+	}
+	s := d.free[n-1]
+	d.free[n-1] = nil
+	d.free = d.free[:n-1]
+	return s
 }
 
 // Network is the crossbar. The engine calls Tick once per ICNT cycle,
@@ -150,8 +197,8 @@ func (n *Network) Tick(now uint64) {
 	for d := range n.dirs {
 		dir := &n.dirs[d]
 		dir.budget = n.bandwidth
-		for len(dir.waiting) > 0 && dir.budget > 0 {
-			req := dir.waiting[0]
+		for dir.count > 0 && dir.budget > 0 {
+			req := dir.head()
 			flits := n.FlitsFor(req, Direction(d))
 			remaining := flits - dir.sent
 			if remaining > dir.budget {
@@ -166,9 +213,7 @@ func (n *Network) Tick(now uint64) {
 			n.countFlits(req, flits)
 			n.seq++
 			dir.inFlight.push(packet{req: req, arriveAt: now + n.latency, seq: n.seq})
-			copy(dir.waiting, dir.waiting[1:])
-			dir.waiting[len(dir.waiting)-1] = nil
-			dir.waiting = dir.waiting[:len(dir.waiting)-1]
+			dir.popHead()
 		}
 	}
 }
@@ -179,9 +224,35 @@ func (n *Network) countFlits(req *mem.Request, flits int) {
 	_ = req
 }
 
-// Push enqueues a packet for injection in the given direction.
+// Push enqueues a packet for injection in the given direction. Packets
+// land in an open tail segment, after everything already queued; Push
+// and PushBatch interleave into one FIFO.
 func (n *Network) Push(dir Direction, req *mem.Request) {
-	n.dirs[dir].waiting = append(n.dirs[dir].waiting, req)
+	d := &n.dirs[dir]
+	if !d.openTail {
+		d.segs = append(d.segs, d.grabFree())
+		d.openTail = true
+	}
+	last := len(d.segs) - 1
+	d.segs[last] = append(d.segs[last], req)
+	d.count++
+}
+
+// PushBatch enqueues a whole lane of packets as one segment, preserving
+// their order after everything already queued. The network takes
+// ownership of the slice; in exchange the caller receives an empty
+// recycled buffer (possibly nil early on) for its next lane fill, so a
+// steady-state lane merge moves no packets and allocates nothing. An
+// empty batch is returned unchanged.
+func (n *Network) PushBatch(dir Direction, batch []*mem.Request) []*mem.Request {
+	if len(batch) == 0 {
+		return batch
+	}
+	d := &n.dirs[dir]
+	d.segs = append(d.segs, batch)
+	d.openTail = false
+	d.count += len(batch)
+	return d.grabFree()
 }
 
 // PopArrived returns the next packet that has completed its flight in the
@@ -198,7 +269,7 @@ func (n *Network) PopArrived(dir Direction) *mem.Request {
 // waiting packet means the next Tick does real work (it will inject),
 // so the engine must not fast-forward past it.
 func (n *Network) HasWaiting() bool {
-	return len(n.dirs[ToMem].waiting) > 0 || len(n.dirs[ToCore].waiting) > 0
+	return n.dirs[ToMem].count > 0 || n.dirs[ToCore].count > 0
 }
 
 // NextArrival returns the earliest in-flight arrival time across both
@@ -223,7 +294,7 @@ func (n *Network) AddBackgroundFlits(flits uint64) {
 // Pending reports whether any packet is waiting or in flight.
 func (n *Network) Pending() bool {
 	for d := range n.dirs {
-		if len(n.dirs[d].waiting) > 0 || len(n.dirs[d].inFlight) > 0 {
+		if n.dirs[d].count > 0 || len(n.dirs[d].inFlight) > 0 {
 			return true
 		}
 	}

@@ -90,3 +90,21 @@ func (rc *Recycler) Drain(put func(*Request)) {
 	}
 	rc.reqs = rc.reqs[:0]
 }
+
+// DrainTo appends every deferred request to lane (in defer order),
+// resets the recycler, and returns the extended lane. It is the
+// lane-queue form of Drain: a phase shard moves its partitions'
+// deferred returns into its own lane with plain pointer appends — no
+// per-element callback — and the engine's serial merge routes the lane
+// contents home afterwards. A nil receiver returns lane unchanged.
+func (rc *Recycler) DrainTo(lane []*Request) []*Request {
+	if rc == nil {
+		return lane
+	}
+	lane = append(lane, rc.reqs...)
+	for i := range rc.reqs {
+		rc.reqs[i] = nil
+	}
+	rc.reqs = rc.reqs[:0]
+	return lane
+}

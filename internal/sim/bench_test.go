@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/config"
+)
+
+// BenchmarkStealScheduleStep measures the fixed per-cycle cost of the
+// restructured exchange on an idle machine: the serial arrival binning
+// (nothing to bin), one steal phase over every span (workers claim from
+// the shared cursor, tick idle components, drain empty lanes), and the
+// serial O(spans) merge. This is exactly the overhead the tentpole
+// shrank — the old coordinator walked every SM, partition and packet
+// serially — and it must stay allocation-free at steady state.
+func BenchmarkStealScheduleStep(b *testing.B) {
+	e, err := New(config.Baseline(), config.PolicyDLP, Options{Cores: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pp := newPhasePool(e)
+	e.pp = pp
+	defer func() {
+		pp.stop()
+		e.pp = nil
+	}()
+
+	now := uint64(1)
+	e.step(now) // warm span lanes and per-worker state
+	now++
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.step(now)
+		now++
+	}
+}

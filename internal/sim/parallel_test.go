@@ -12,9 +12,11 @@ import (
 )
 
 // coreCounts is the matrix the differential tests sweep: serial, the
-// smallest parallel pool, and more shards than this host has CPUs
-// (which exercises the park path of the barrier).
-var coreCounts = []int{1, 2, 8}
+// smallest parallel pool, odd counts off any power-of-two span boundary
+// (the work-stealing schedule must be bit-identical there too), and
+// more workers than this host has CPUs (which exercises the park path
+// of the barrier).
+var coreCounts = []int{1, 2, 3, 5, 7, 8}
 
 // TestCoresDifferential is the determinism pin for phase parallelism:
 // the same kernel run at every core count — with SelfCheck sweeping the
@@ -81,15 +83,20 @@ func TestCoresFastForwardDifferential(t *testing.T) {
 }
 
 // TestCoresClamped proves Options.Cores beyond the component count is
-// clamped rather than spawning useless workers.
+// clamped rather than spawning useless workers, and that the span list
+// never exceeds the component count either.
 func TestCoresClamped(t *testing.T) {
 	cfg := config.Baseline()
 	e, err := New(cfg, config.PolicyBaseline, Options{Cores: 1024})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := max(cfg.NumSMs, cfg.NumPartitions); len(e.shards) != want {
-		t.Errorf("1024 cores clamped to %d shards, want %d", len(e.shards), want)
+	total := cfg.NumSMs + cfg.NumPartitions
+	if e.workers != total {
+		t.Errorf("1024 cores clamped to %d workers, want %d", e.workers, total)
+	}
+	if len(e.spans) != total {
+		t.Errorf("1024 cores produced %d spans, want %d (every span non-empty)", len(e.spans), total)
 	}
 }
 
@@ -138,8 +145,8 @@ func TestPhaseWorkerPanicRethrown(t *testing.T) {
 		if want := "injected phase fault"; pe.Value != want {
 			t.Errorf("Value = %v, want %q", pe.Value, want)
 		}
-		if !strings.Contains(string(pe.Stack), "tickShard") {
-			t.Errorf("stack does not show the phase tick:\n%s", pe.Stack)
+		if !strings.Contains(string(pe.Stack), "runSpans") {
+			t.Errorf("stack does not show the steal loop:\n%s", pe.Stack)
 		}
 		var err error = pe
 		if !errors.As(err, &pe) {
@@ -155,4 +162,116 @@ func TestPhaseWorkerPanicRethrown(t *testing.T) {
 				}
 			},
 		})
+}
+
+// TestMakeSpans pins the span layout invariants the determinism
+// argument rests on: for any component total and span count the spans
+// are non-empty, contiguous, gap-free, and cover [0, total) in
+// ascending order — so the merge's fixed span order is exactly
+// ascending component order.
+func TestMakeSpans(t *testing.T) {
+	for _, total := range []int{1, 2, 3, 7, 12, 28, 28 + 1, 96} {
+		for n := 1; n <= total; n++ {
+			spans := makeSpans(total, n)
+			if len(spans) != n {
+				t.Fatalf("makeSpans(%d,%d): %d spans", total, n, len(spans))
+			}
+			next := 0
+			for i, sp := range spans {
+				if sp.lo != next {
+					t.Fatalf("makeSpans(%d,%d): span %d starts at %d, want %d", total, n, i, sp.lo, next)
+				}
+				if sp.hi <= sp.lo {
+					t.Fatalf("makeSpans(%d,%d): span %d empty [%d,%d)", total, n, i, sp.lo, sp.hi)
+				}
+				next = sp.hi
+			}
+			if next != total {
+				t.Fatalf("makeSpans(%d,%d): covers [0,%d), want [0,%d)", total, n, next, total)
+			}
+		}
+	}
+}
+
+// TestStealScheduleClaimsEachSpanOnce proves the work-stealing cursor's
+// core property: in every stepped cycle, every span is claimed exactly
+// once — no span is skipped, none ticked twice — regardless of how the
+// claims land on workers.
+func TestStealScheduleClaimsEachSpanOnce(t *testing.T) {
+	e, err := New(config.Baseline(), config.PolicyDLP, Options{Cores: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	claims := make([]atomic.Uint64, len(e.spans))
+	e.spanHook = func(span int, _ uint64) { claims[span].Add(1) }
+	var stepped uint64
+	e.testHook = func(uint64, bool) { stepped++ }
+	if _, err := e.Run(context.Background(), mixedKernel(17)); err != nil {
+		t.Fatal(err)
+	}
+	if stepped == 0 {
+		t.Fatal("no cycles stepped")
+	}
+	for si := range claims {
+		if got := claims[si].Load(); got != stepped {
+			t.Errorf("span %d claimed %d times over %d stepped cycles", si, got, stepped)
+		}
+	}
+}
+
+// TestStealScheduleDeterminismOddCores is the focused odd-core pin: the
+// same kernel at cores 3, 5 and 7 — span counts that never divide the
+// component count evenly — must reproduce the serial stats exactly,
+// with the invariant sweeps on.
+func TestStealScheduleDeterminismOddCores(t *testing.T) {
+	cfg := config.Baseline()
+	ref, err := RunOnce(context.Background(), cfg, config.PolicyDLP,
+		mixedKernel(41), Options{SelfCheck: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cores := range []int{3, 5, 7} {
+		st, err := RunOnce(context.Background(), cfg, config.PolicyDLP,
+			mixedKernel(41), Options{SelfCheck: true, Cores: cores})
+		if err != nil {
+			t.Fatalf("cores=%d: %v", cores, err)
+		}
+		if *st != *ref {
+			t.Errorf("cores=%d diverged:\nserial %+v\nstolen %+v", cores, ref, st)
+		}
+	}
+}
+
+// TestSpanPanicSurfacesThroughMerge injects a panic inside a span tick
+// itself (not the phase hook), on whichever worker claims the span: the
+// run must surface it promptly — as a *PhasePanicError when a pool
+// worker claimed the span, or as the raw value when the coordinator did
+// — and never wedge the barrier.
+func TestSpanPanicSurfacesThroughMerge(t *testing.T) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("span panic did not propagate")
+		}
+		if pe, ok := v.(*PhasePanicError); ok {
+			if want := "injected span fault"; pe.Value != want {
+				t.Errorf("Value = %v, want %q", pe.Value, want)
+			}
+			return
+		}
+		if v != "injected span fault" {
+			t.Fatalf("propagated as %T (%v)", v, v)
+		}
+	}()
+	e, err := New(config.Baseline(), config.PolicyDLP, Options{Cores: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.spanHook = func(span int, cycle uint64) {
+		if span == len(e.spans)-1 && cycle >= 3 {
+			panic("injected span fault")
+		}
+	}
+	_, _ = e.Run(context.Background(), mixedKernel(5))
+	t.Fatal("run returned normally despite the injected panic")
 }

@@ -135,21 +135,32 @@ type Engine struct {
 
 	// pools recycle mem.Request objects, one unlocked pool per SM: an
 	// SM allocates from and returns loads to its own pool during its
-	// shard's tick, and store requests consumed by L2 partitions are
-	// deferred into per-partition recyclers that the serial phase
-	// drains back to the issuing SM's pool (Request.SM). putHome is
-	// that routing function, bound once so draining allocates nothing.
+	// span's tick. Store requests consumed by L2 partitions are
+	// deferred into per-partition recyclers; the partition's span
+	// drains them into its outPut lane, the serial merge bins them by
+	// destination span (Request.SM), and the destination span returns
+	// them to the owning pool at the top of the next component phase —
+	// so pools stay unlocked and the steady state allocation-free at
+	// any core count.
 	pools     []*mem.Pool
 	recyclers []*mem.Recycler
-	putHome   func(*mem.Request)
 
-	// shards holds each phase worker's per-cycle output: its activity
-	// flag and its partial fast-forward fold. Shard 0 belongs to the
-	// coordinator; with Cores == 1 it is the only entry and the phase
-	// runs inline with no synchronization at all.
-	shards []shardResult
+	// workers is the effective phase parallelism (Options.Cores clamped
+	// to the component count); spans is the contiguous partition of the
+	// unified component index space the workers steal from, and spanSt
+	// holds each span's inboxes, lanes, activity flag and fast-forward
+	// partial. partSpan/smSpan map a component to its owning span for
+	// the serial binning steps.
+	workers  int
+	spans    []span
+	spanSt   []spanState
+	partSpan []int32
+	smSpan   []int32
+	// wslots records panics recovered on pool workers (index ≥ 1); the
+	// coordinator rethrows them after the phase barrier.
+	wslots []workerSlot
 	// pp is the persistent phase-worker pool, non-nil only while Run
-	// executes with more than one shard.
+	// executes with more than one worker.
 	pp *phasePool
 
 	// mreg/msink/mevery/mlabel drive the optional cycle-domain metrics
@@ -168,6 +179,11 @@ type Engine struct {
 	// no observable work is exactly what the activity property tests
 	// verify).
 	testHook func(cycle uint64, active bool)
+	// spanHook, when set by a test in this package, observes every span
+	// claim of every component phase (it may run concurrently on
+	// several workers). The steal-schedule tests use it to prove each
+	// span is claimed exactly once per stepped cycle.
+	spanHook func(span int, cycle uint64)
 	// disableFastForward forces the run loop to step every cycle; the
 	// differential property tests use it to prove fast-forwarding
 	// changes nothing but wall-clock time.
@@ -190,7 +206,6 @@ func New(cfg *config.Config, policy config.Policy, opts Options) (*Engine, error
 		netSt:              &stats.Stats{},
 		disableFastForward: opts.DisableFastForward,
 	}
-	e.putHome = func(r *mem.Request) { e.pools[r.SM].Put(r) }
 	e.pools = make([]*mem.Pool, cfg.NumSMs)
 	e.sms = make([]*sm.SM, cfg.NumSMs)
 	for i := range e.sms {
@@ -208,12 +223,37 @@ func New(cfg *config.Config, policy config.Policy, opts Options) (*Engine, error
 		e.parts[i] = l2.New(cfg, e.partSt[i], nil)
 		e.parts[i].SetRecycler(e.recyclers[i])
 	}
-	// More shards than the larger component class could ever have work.
+	// Work-stealing spans over the unified component index space:
+	// partitions first, then SMs. Workers beyond the component count
+	// could never have work and are clamped; the span count gives each
+	// worker a few spans to claim (spansPerWorker) so one hot span
+	// doesn't serialize a phase, while keeping the serial lane merge
+	// O(spans). A serial engine uses a single span — one inbox apply,
+	// one sweep, one merge handoff per direction.
+	total := cfg.NumSMs + cfg.NumPartitions
 	cores := opts.Cores
-	if m := max(cfg.NumSMs, cfg.NumPartitions); cores > m {
-		cores = m
+	if cores > total {
+		cores = total
 	}
-	e.shards = make([]shardResult, cores)
+	e.workers = cores
+	nspans := 1
+	if cores > 1 {
+		nspans = min(cores*spansPerWorker, total)
+	}
+	e.spans = makeSpans(total, nspans)
+	e.spanSt = make([]spanState, nspans)
+	e.wslots = make([]workerSlot, cores)
+	e.partSpan = make([]int32, cfg.NumPartitions)
+	e.smSpan = make([]int32, cfg.NumSMs)
+	for si, sp := range e.spans {
+		for i := sp.lo; i < sp.hi; i++ {
+			if i < cfg.NumPartitions {
+				e.partSpan[i] = int32(si)
+			} else {
+				e.smSpan[i-cfg.NumPartitions] = int32(si)
+			}
+		}
+	}
 	if opts.Metrics.Enabled() {
 		e.registerMetrics(opts.Metrics)
 	}
@@ -274,11 +314,11 @@ func (e *Engine) RunStream(ctx context.Context, src trace.Stream) (*stats.Stats,
 // budget runs out, or the machine wedges. Both Run and RunStream land
 // here after assigning their blocks.
 func (e *Engine) runLoop(ctx context.Context, name string) (*stats.Stats, error) {
-	// With more than one shard, spin up the persistent phase-worker
+	// With more than one worker, spin up the persistent phase-worker
 	// pool for the duration of the run. The deferred stop also runs on
-	// the panic path (a coordinator-shard panic unwinding through Run),
-	// so worker goroutines never outlive the run that spawned them.
-	if len(e.shards) > 1 {
+	// the panic path (a coordinator panic unwinding through Run), so
+	// worker goroutines never outlive the run that spawned them.
+	if e.workers > 1 {
 		pp := newPhasePool(e)
 		e.pp = pp
 		defer func() {
@@ -477,86 +517,93 @@ func (e *Engine) selfCheck(name string, cycle uint64) error {
 // exact same state the full tick would have produced.
 //
 // The cycle is phase-structured so the component ticks can run on
-// multiple shards with bit-identical output at any core count:
+// multiple workers with bit-identical output at any core count, and so
+// the serial portions do O(spans) — not O(SMs + partitions + packets) —
+// heavy work:
 //
-//  1. Serial pre-phase: tick the interconnect and deliver every arrived
-//     packet (requests to partitions, responses to SM L1Ds). Pushes go
-//     to the network's waiting queues, which PopArrived never observes
-//     in the same cycle, so hoisting both deliveries ahead of the
-//     component ticks is equivalent to the old interleaved order.
-//  2. Component phase (parallel): partitions and SMs tick. Ticks only
-//     mutate component-local state — responses queue inside the
-//     partition, outgoing fetches stay in the L1D, consumed stores are
-//     deferred to the partition's recycler — so shards share nothing.
-//  3. Serial post-phase, in fixed partition/SM order: drain partition
-//     responses and recycled stores, then drain each SM's outgoing
-//     fetches under the injection-rate bound. Every network push
-//     happens here, in the same per-direction order as the serial
-//     engine, which pins packet sequence numbers and hence the output.
+//  1. Serial binning pre-phase: tick the interconnect, then pop every
+//     arrived packet and bin it by destination span — one pointer
+//     append per packet, no cache or MSHR work. Pushes go to the
+//     network's injection queues, which PopArrived never observes in
+//     the same cycle, so hoisting delivery ahead of the component ticks
+//     is equivalent to the old interleaved order.
+//  2. Component phase (stolen spans, parallel): each claimed span first
+//     applies its inboxes — recycled stores back to their SM pools,
+//     binned requests into partitions, binned responses into L1D MSHRs
+//     (the expensive half of delivery, now parallel) — then ticks its
+//     components, then drains outbound packets into its own lanes:
+//     partition responses and recycled stores in partition order, SM
+//     fetches under the injection-rate bound in SM order. Ticks and
+//     lane drains only touch component-local and span-local state, so
+//     spans share nothing.
+//  3. Serial lane merge, in fixed ascending span order: each non-empty
+//     outbound lane is handed to the network as one segment (an O(1)
+//     slice handoff returning a recycled buffer), and recycled stores
+//     are binned to their destination span's inbox for the next phase.
+//     Spans ascend the component index space and each lane was filled
+//     in component order, so the concatenated per-direction injection
+//     order — and hence every packet sequence number — is exactly the
+//     serial engine's.
 func (e *Engine) step(now uint64) bool {
 	// An injection-queue packet means this network tick does real work.
 	active := e.net.HasWaiting()
 	e.net.Tick(now)
 
-	// Deliver request packets to their memory partition.
+	// Bin arrived request packets by their partition's span.
 	for {
 		req := e.net.PopArrived(interconnect.ToMem)
 		if req == nil {
 			break
 		}
 		p := addr.PartitionOf(req.Addr, e.cfg.L1D.LineSize, len(e.parts))
-		e.parts[p].Enqueue(req)
+		st := &e.spanSt[e.partSpan[p]]
+		st.inMem = append(st.inMem, req)
 		active = true
 	}
 
-	// Deliver responses to the issuing SM's L1D.
+	// Bin arrived responses by the issuing SM's span.
 	for {
 		resp := e.net.PopArrived(interconnect.ToCore)
 		if resp == nil {
 			break
 		}
-		e.sms[resp.SM].L1D().OnResponse(resp)
+		st := &e.spanSt[e.smSpan[resp.SM]]
+		st.inCore = append(st.inCore, resp)
 		active = true
 	}
 
-	// Component phase. With one shard it runs inline; otherwise the
-	// coordinator ticks shard 0 while the pool's workers tick the rest,
-	// and the barrier inside runPhase orders their writes before the
-	// folds below.
+	// Component phase. With one worker it runs inline; otherwise the
+	// coordinator claims spans alongside the pool's workers, and the
+	// barrier inside runPhase orders their writes before the merge
+	// below.
 	if e.pp != nil {
 		e.pp.runPhase(now)
 	} else {
-		e.tickShard(0, 1, now, &e.shards[0])
-	}
-	for i := range e.shards {
-		if e.shards[i].active {
-			active = true
-		}
+		e.runSpansSerial(now)
 	}
 
-	// Serial post-phase: all cross-component interaction, in fixed
-	// partition/SM order.
-	for i, p := range e.parts {
-		for {
-			resp := p.PopResponse()
-			if resp == nil {
-				break
-			}
-			e.net.Push(interconnect.ToCore, resp)
-		}
-		if rc := e.recyclers[i]; rc.Len() > 0 {
-			rc.Drain(e.putHome)
-		}
-	}
-	for _, s := range e.sms {
-		for i := 0; i < e.opts.InjectionRate; i++ {
-			out := s.L1D().PopOutgoing()
-			if out == nil {
-				break
-			}
-			e.net.Push(interconnect.ToMem, out)
+	// Serial lane merge, fixed span order.
+	for i := range e.spanSt {
+		st := &e.spanSt[i]
+		if st.active {
 			active = true
 		}
+		if len(st.outCore) > 0 {
+			st.outCore = e.net.PushBatch(interconnect.ToCore, st.outCore)
+		}
+		if len(st.outMem) > 0 {
+			st.outMem = e.net.PushBatch(interconnect.ToMem, st.outMem)
+		}
+		// Route recycled stores to their issuing SM's span; the span
+		// applies them at the top of the next phase. Bounded: each
+		// partition retires at most one request per cycle, so this loop
+		// moves at most NumPartitions pointers.
+		for j, r := range st.outPut {
+			st.outPut[j] = nil
+			d := &e.spanSt[e.smSpan[r.SM]]
+			d.inPut = append(d.inPut, r)
+		}
+		st.outPut = st.outPut[:0]
 	}
 	return active
 }
@@ -565,12 +612,12 @@ func (e *Engine) step(now uint64) bool {
 // machine can do real work, assuming the current cycle was fully
 // inactive. ok=false means some component needs per-cycle ticking (a
 // draining LD/ST queue, a queued partition request, a ready warp) and
-// no jump is safe. The component sweep is pre-folded: each shard
+// no jump is safe. The component sweep is pre-folded: each span
 // recorded its partial minimum (or a mustTick veto) while ticking, so
-// this only folds len(shards) partials with the serial network checks.
+// this only folds len(spans) partials with the serial network checks.
 // The partials are valid exactly when this is called — the run loop
 // only fast-forwards inactive cycles, and an inactive cycle means every
-// shard took the idle path that computes them. The result is clamped to
+// span took the idle path that computes them. The result is clamped to
 // the periodic boundaries the run loop must still observe: the
 // 4096-cycle context check, the self-check sampling grid when enabled,
 // the next 32-cycle quiescence check when no event is scheduled at all,
@@ -584,13 +631,13 @@ func (e *Engine) nextInterestingCycle(now uint64) (uint64, bool) {
 	if a, ok := e.net.NextArrival(); ok {
 		t = a
 	}
-	for i := range e.shards {
-		sh := &e.shards[i]
-		if sh.mustTick {
+	for i := range e.spanSt {
+		st := &e.spanSt[i]
+		if st.mustTick {
 			return 0, false
 		}
-		if sh.next < t {
-			t = sh.next
+		if st.next < t {
+			t = st.next
 		}
 	}
 	if t == inf {
