@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: all build vet check test faultcheck conform fuzzsmoke streamsmoke scalesmoke figures bench benchgate clean
+.PHONY: all build vet check test faultcheck conform fuzzsmoke streamsmoke scalesmoke servesmoke figures bench benchgate clean
 
 all: build
 
@@ -97,6 +97,24 @@ scalesmoke: build
 	$(GO) run -race ./cmd/dlpsim -app BFS -policy baseline -selfcheck -cores 0 > /tmp/scalesmoke_bN.txt
 	cmp /tmp/scalesmoke_b1.txt /tmp/scalesmoke_bN.txt
 	@echo "scalesmoke: serial and all-core runs are byte-identical"
+
+# Job-server smoke: start dlpserved on an ephemeral port, replay three
+# committed conformance cases through the HTTP API with dlpload (the
+# server's normalized stats must byte-match expected_stats.json), drain
+# it with POST /shutdown, then run the reduced-scale concurrency soak —
+# dedup storms, cancellation mix, graceful drain — under the race
+# detector.
+servesmoke: build
+	$(GO) build -o /tmp/dlpserved ./cmd/dlpserved
+	$(GO) build -o /tmp/dlpload ./cmd/dlpload
+	rm -f /tmp/dlpserved.addr; \
+	/tmp/dlpserved -addr 127.0.0.1:0 -addr-file /tmp/dlpserved.addr & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 100); do [ -s /tmp/dlpserved.addr ] && break; sleep 0.1; done; \
+	/tmp/dlpload -addr-file /tmp/dlpserved.addr -replay testdata/conform -run 'app-*' && \
+	/tmp/dlpload -addr-file /tmp/dlpserved.addr -shutdown && \
+	wait $$pid
+	$(GO) test -race -short -run 'TestServeSoak|TestDedupStormSingleSimulation' ./internal/serve/
 
 # Regenerate the committed reference outputs.
 figures:

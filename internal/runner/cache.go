@@ -175,15 +175,65 @@ func validateEntry(e *diskEntry) error {
 type Cache struct {
 	mu          sync.Mutex
 	mem         map[string]*stats.Stats
-	dir         string // empty: memory-only
+	flights     map[string]chan struct{} // keys currently being simulated
+	dir         string                   // empty: memory-only
 	hits        uint64
 	misses      uint64
+	coalesced   uint64
 	quarantined uint64
 }
 
 // NewCache returns an empty in-memory cache.
 func NewCache() *Cache {
-	return &Cache{mem: make(map[string]*stats.Stats)}
+	return &Cache{mem: make(map[string]*stats.Stats), flights: make(map[string]chan struct{})}
+}
+
+// beginFlight is the single-flight entry point for one cacheable key.
+// Exactly one of three things happens, atomically with respect to Put:
+//
+//   - the key is already cached in memory: its snapshot comes back in
+//     st (counted as a hit), and the caller is done;
+//   - no flight is open for the key: the caller becomes the leader
+//     (leader == true) and must simulate, Put on success, and then
+//     finishFlight — even when the simulation fails;
+//   - another caller holds the flight: wait is the open flight's
+//     channel, closed at the leader's finishFlight. The caller waits,
+//     then re-enters beginFlight: a hit if the leader published, a new
+//     flight if it failed.
+//
+// The in-memory re-check under the same lock closes the Get-then-fly
+// race: a leader that published between a caller's cache miss and its
+// beginFlight is observed here as a hit, never as a duplicate flight.
+func (c *Cache) beginFlight(key string) (st *stats.Stats, leader bool, wait <-chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st, ok := c.mem[key]; ok {
+		c.hits++
+		return st.Clone(), false, nil
+	}
+	if c.flights == nil {
+		c.flights = make(map[string]chan struct{})
+	}
+	if ch, ok := c.flights[key]; ok {
+		c.coalesced++
+		return nil, false, ch
+	}
+	ch := make(chan struct{})
+	c.flights[key] = ch
+	return nil, true, nil
+}
+
+// finishFlight closes the key's flight, waking every waiter. The leader
+// calls it after Put (success) or with nothing published (failure); the
+// waiters' re-entry into beginFlight distinguishes the two.
+func (c *Cache) finishFlight(key string) {
+	c.mu.Lock()
+	ch := c.flights[key]
+	delete(c.flights, key)
+	c.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
 }
 
 // OpenDiskCache returns a cache backed by dir (created if needed).
@@ -279,14 +329,20 @@ func (c *Cache) Put(key string, st *stats.Stats) {
 	if err != nil {
 		return
 	}
-	// Persist via rename so concurrent writers and readers never see a
-	// torn file; persistence failures degrade to memory-only caching.
+	// Persist via a same-directory temp file renamed into place, so
+	// concurrent writers and readers — including other processes
+	// sharing the cache directory — never observe a torn entry that the
+	// checksum path would then quarantine spuriously; persistence
+	// failures degrade to memory-only caching.
 	path := filepath.Join(dir, key+".json")
 	tmp, err := os.CreateTemp(dir, key+".tmp*")
 	if err != nil {
 		return
 	}
 	if _, err := tmp.Write(b); err == nil {
+		// CreateTemp opens 0600; published entries must be readable by
+		// whatever account the next server or CLI sharing dir runs as.
+		_ = tmp.Chmod(0o644)
 		err = tmp.Close()
 		if err == nil {
 			_ = os.Rename(tmp.Name(), path)
@@ -311,6 +367,14 @@ func (c *Cache) Counters() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Coalesced returns how many cacheable jobs were deduplicated onto an
+// identical in-flight simulation instead of starting their own.
+func (c *Cache) Coalesced() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coalesced
 }
 
 // Quarantined returns how many on-disk entries failed integrity

@@ -1,0 +1,327 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// tinyJob returns a fast cacheable job; jobs built from the same name
+// share a content address.
+func tinyJob(name string) Job {
+	return Job{
+		Label:  name,
+		Config: config.Baseline(),
+		Policy: config.PolicyBaseline,
+		Kernel: streamKernel(name, 1, 2, 4, 2),
+	}
+}
+
+// TestSingleFlightExactlyOneSimulation pins the dedup bugfix: N
+// concurrent Run calls submitting the same content address perform
+// exactly one simulation. The leader is gated inside the intercept
+// until every other submission has coalesced onto its flight, so the
+// test proves the waiters attach to the in-flight simulation rather
+// than merely hitting the cache after it.
+func TestSingleFlightExactlyOneSimulation(t *testing.T) {
+	const clients = 8
+	cache := NewCache()
+	var sims atomic.Int32
+	release := make(chan struct{})
+	r := &Runner{
+		Workers: clients,
+		Cache:   cache,
+		Intercept: func(ctx context.Context, index, attempt int, job Job, run SimFunc) (*stats.Stats, error) {
+			sims.Add(1)
+			<-release
+			return run(ctx)
+		},
+	}
+
+	// The same kernel pointer in every batch: all jobs share one key.
+	job := tinyJob("shared")
+	results := make([]Result, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := r.Run(context.Background(), []Job{job})
+			errs[i] = err
+			if err == nil {
+				results[i] = res[0]
+			}
+		}(i)
+	}
+
+	// Wait until every non-leader client is parked on the leader's
+	// flight, then let the leader finish.
+	deadline := time.Now().Add(10 * time.Second)
+	for cache.Coalesced() < clients-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d clients coalesced onto the flight", cache.Coalesced(), clients-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := sims.Load(); n != 1 {
+		t.Fatalf("%d simulations ran for one shared key, want exactly 1", n)
+	}
+	cachedCount := 0
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if results[i].Cached {
+			cachedCount++
+		}
+		if *results[i].Stats != *results[0].Stats {
+			t.Errorf("client %d: stats differ from client 0", i)
+		}
+	}
+	if cachedCount != clients-1 {
+		t.Errorf("%d clients served from cache, want %d (one leader)", cachedCount, clients-1)
+	}
+	if got := cache.Coalesced(); got != clients-1 {
+		t.Errorf("Coalesced() = %d, want %d", got, clients-1)
+	}
+}
+
+// TestSingleFlightLeaderCancelWaiterRetakes: a leader cancelled
+// mid-simulation (a client disconnect) must not take its waiters down
+// with it — a waiter retakes the flight and simulates itself.
+func TestSingleFlightLeaderCancelWaiterRetakes(t *testing.T) {
+	cache := NewCache()
+	var calls atomic.Int32
+	leaderIn := make(chan struct{})
+	r := &Runner{
+		Workers: 2,
+		Cache:   cache,
+		Intercept: func(ctx context.Context, index, attempt int, job Job, run SimFunc) (*stats.Stats, error) {
+			if calls.Add(1) == 1 {
+				close(leaderIn) // first attempt: hang until cancelled
+				<-ctx.Done()
+				return nil, ctx.Err()
+			}
+			return run(ctx)
+		},
+	}
+
+	job := tinyJob("retake")
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	var leaderErr error
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		_, leaderErr = r.Run(leaderCtx, []Job{job})
+	}()
+	<-leaderIn
+
+	waiterDone := make(chan struct{})
+	var waiterRes []Result
+	var waiterErr error
+	go func() {
+		defer close(waiterDone)
+		waiterRes, waiterErr = r.Run(context.Background(), []Job{job})
+	}()
+	// Park the waiter on the leader's flight before killing the leader.
+	deadline := time.Now().Add(10 * time.Second)
+	for cache.Coalesced() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never coalesced onto the leader's flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelLeader()
+	<-leaderDone
+	<-waiterDone
+
+	var ce *CancelError
+	if !errors.As(leaderErr, &ce) {
+		t.Fatalf("leader error = %v, want *CancelError", leaderErr)
+	}
+	if waiterErr != nil {
+		t.Fatalf("waiter failed after leader cancellation: %v", waiterErr)
+	}
+	if waiterRes[0].Cached {
+		t.Error("waiter result marked Cached; it should have re-simulated")
+	}
+	if waiterRes[0].Stats == nil {
+		t.Fatal("waiter produced no stats")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("%d simulation attempts, want 2 (hung leader + retaking waiter)", got)
+	}
+	// The retaken flight's result is published: a third client hits.
+	third, err := r.Run(context.Background(), []Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !third[0].Cached {
+		t.Error("third client missed the cache after the waiter published")
+	}
+}
+
+// TestConcurrentRunsEventsSerialized: a Runner shared by concurrent Run
+// calls must never enter the Events callback concurrently — the
+// documented contract JobTracer and the server's fan-out rely on.
+func TestConcurrentRunsEventsSerialized(t *testing.T) {
+	var inCallback atomic.Int32
+	var violations atomic.Int32
+	r := &Runner{
+		Workers: 4,
+		Events: func(ev Event) {
+			if !inCallback.CompareAndSwap(0, 1) {
+				violations.Add(1)
+				return
+			}
+			defer inCallback.Store(0)
+		},
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			jobs := []Job{tinyJob(fmt.Sprintf("ev-%d-a", g)), tinyJob(fmt.Sprintf("ev-%d-b", g))}
+			if _, err := r.Run(context.Background(), jobs); err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := violations.Load(); n != 0 {
+		t.Fatalf("Events callback entered concurrently %d times", n)
+	}
+}
+
+// TestConcurrentRunsRespectSlotBudget: overlapping Run calls on one
+// Runner must keep the number of in-flight simulations within Workers —
+// the property that makes -j a process-wide budget for the job server
+// rather than a per-batch one.
+func TestConcurrentRunsRespectSlotBudget(t *testing.T) {
+	const budget = 2
+	var inFlight, highWater atomic.Int32
+	r := &Runner{
+		Workers: budget,
+		Intercept: func(ctx context.Context, index, attempt int, job Job, run SimFunc) (*stats.Stats, error) {
+			n := inFlight.Add(1)
+			for {
+				hw := highWater.Load()
+				if n <= hw || highWater.CompareAndSwap(hw, n) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			defer inFlight.Add(-1)
+			return run(ctx)
+		},
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Distinct kernels: no dedup, every job really simulates.
+			jobs := []Job{tinyJob(fmt.Sprintf("slot-%d-a", g)), tinyJob(fmt.Sprintf("slot-%d-b", g))}
+			if _, err := r.Run(context.Background(), jobs); err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if hw := highWater.Load(); hw > budget {
+		t.Fatalf("observed %d concurrent simulations, budget is %d", hw, budget)
+	}
+}
+
+// TestDiskCacheOneKeyHammer is the torn-write regression test: many
+// goroutines (as independent Cache handles over one directory,
+// modelling concurrent server workers and processes) write and read a
+// single key. Every successful load must be intact — the atomic
+// temp-file + rename publish means no reader can ever observe a
+// partially written entry, so nothing is ever quarantined.
+func TestDiskCacheOneKeyHammer(t *testing.T) {
+	dir := t.TempDir()
+	seed, err := (&Runner{Workers: 1}).Run(context.Background(), []Job{tinyJob("hammer")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := seed[0].Stats
+	const key = "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"
+
+	const goroutines = 16
+	const iters = 40
+	caches := make([]*Cache, goroutines)
+	for i := range caches {
+		c, err := OpenDiskCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		caches[i] = c
+	}
+	var wg sync.WaitGroup
+	var loads atomic.Int64
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := caches[g]
+			for i := 0; i < iters; i++ {
+				if g%2 == 0 {
+					c.Put(key, st)
+				}
+				// A fresh handle per Get forces the disk path: the
+				// per-cache memory tier would otherwise absorb every
+				// read after the first.
+				fresh, err := OpenDiskCache(dir)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := fresh.Get(key); ok {
+					loads.Add(1)
+					if *got != *st {
+						t.Errorf("goroutine %d iter %d: loaded stats differ from written", g, i)
+						return
+					}
+				}
+				if q := fresh.Quarantined(); q != 0 {
+					t.Errorf("goroutine %d iter %d: %d entries quarantined — torn write observed", g, i, q)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i, c := range caches {
+		if q := c.Quarantined(); q != 0 {
+			t.Fatalf("cache handle %d quarantined %d entries", i, q)
+		}
+	}
+	if loads.Load() == 0 {
+		t.Fatal("no successful disk loads — the hammer never exercised the read path")
+	}
+	// And the settled state is a valid entry.
+	final, err := OpenDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := final.Get(key)
+	if !ok {
+		t.Fatal("entry missing after the storm")
+	}
+	if *got != *st {
+		t.Fatal("settled entry differs from the written stats")
+	}
+}

@@ -95,21 +95,22 @@ const (
 // moment the event fired.
 type Event struct {
 	Kind     EventKind
-	Index    int    // job position in the submitted batch
-	Label    string // Job.Label
-	Cached   bool   // JobDone: result came from the cache
-	Err      error  // JobDone: the job's error, if any
+	Index    int           // job position in the submitted batch
+	Label    string        // Job.Label
+	Cached   bool          // JobDone: result came from the cache
+	Err      error         // JobDone: the job's error, if any
 	Wall     time.Duration // JobDone: simulation wall time
-	Cycles   uint64 // JobDone: cycles the simulation ran
-	Attempts int    // JobDone: simulation attempts performed
+	Cycles   uint64        // JobDone: cycles the simulation ran
+	Attempts int           // JobDone: simulation attempts performed
 
 	Queued  int // jobs not yet picked up
 	Running int // jobs currently executing
 	Done    int // jobs finished
 }
 
-// Events receives progress notifications. Callbacks are serialized (the
-// runner never calls Events concurrently) but arrive from worker
+// Events receives progress notifications. Callbacks are serialized per
+// Runner (the runner never calls an Events callback concurrently with
+// any other, even across overlapping Run calls) but arrive from worker
 // goroutines, not the submitting one.
 type Events func(Event)
 
@@ -182,7 +183,46 @@ type Runner struct {
 	// MetricsEvery overrides the sampling period in cycles for jobs
 	// sampled via Metrics; 0 means the default (metrics.DefaultEvery).
 	MetricsEvery uint64
+
+	// emitMu serializes Events callbacks across overlapping Run calls.
+	// One Run already serializes its own emissions through its local
+	// batch lock; a Runner shared by concurrent callers (the job
+	// server) needs this second level so a callback like JobTracer is
+	// never entered concurrently.
+	emitMu sync.Mutex
+
+	// slots bounds the number of simulations in flight across every
+	// concurrent Run call to the resolved Workers value. Within one Run
+	// the worker pool already enforces the bound, so acquisition never
+	// blocks there; with several Runs sharing the Runner it is what
+	// keeps "-j" a process-wide budget instead of a per-batch one.
+	// Built lazily on first use from the Workers value at that moment.
+	slotOnce sync.Once
+	slots    chan struct{}
 }
+
+// slotCap resolves the process-wide simulation budget.
+func (r *Runner) slotCap() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// acquireSlot blocks until a simulation slot is free or ctx dies. Slots
+// are held only while a simulation actually runs — cache hits and
+// single-flight waiters never consume one.
+func (r *Runner) acquireSlot(ctx context.Context) error {
+	r.slotOnce.Do(func() { r.slots = make(chan struct{}, r.slotCap()) })
+	select {
+	case r.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (r *Runner) releaseSlot() { <-r.slots }
 
 // Run executes jobs and returns their results in submission order.
 //
@@ -195,7 +235,22 @@ type Runner struct {
 // Cancelling ctx aborts in-flight simulations within a few thousand
 // simulated cycles; the returned *CancelError summarizes how many jobs
 // completed and how many never started, and wraps the context error.
+//
+// Run is safe for concurrent use: overlapping calls share the Runner's
+// simulation-slot budget (Workers bounds in-flight simulations across
+// all of them), the cache's single-flight table (an identical in-flight
+// point is simulated once and shared), and the Events serialization
+// guarantee.
 func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	return r.RunEvents(ctx, jobs, r.Events)
+}
+
+// RunEvents is Run with a per-call Events callback instead of the
+// shared Runner.Events field. A server running many independent batches
+// on one Runner uses it to route each batch's progress to its own
+// subscriber; callbacks across overlapping calls are still serialized
+// per Runner. events may be nil.
+func (r *Runner) RunEvents(ctx context.Context, jobs []Job, events Events) ([]Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -238,17 +293,21 @@ func (r *Runner) Run(ctx context.Context, jobs []Job) ([]Result, error) {
 				cancel()
 			}
 		}
-		if r.Events != nil {
+		if events != nil {
 			ev.Queued, ev.Running, ev.Done = queued, running, done
-			r.Events(ev)
+			r.emitMu.Lock()
+			events(ev)
+			r.emitMu.Unlock()
 		}
 	}
-	if r.Events != nil {
+	if events != nil {
 		mu.Lock()
+		r.emitMu.Lock()
 		for i := range jobs {
-			r.Events(Event{Kind: JobQueued, Index: i, Label: jobs[i].Label,
+			events(Event{Kind: JobQueued, Index: i, Label: jobs[i].Label,
 				Queued: queued, Running: running, Done: done})
 		}
+		r.emitMu.Unlock()
 		mu.Unlock()
 	}
 
@@ -342,6 +401,14 @@ func effectiveCores(requested, workers int) int {
 // runOne executes (or recalls) a single job, retrying transient
 // failures up to Runner.Retries times. cores fills Job.Opts.Cores for
 // jobs that left it zero.
+//
+// Cacheable jobs run under single-flight: of all concurrent jobs with
+// the same content address (across every Run call sharing this
+// Runner's Cache), exactly one — the leader — simulates; the rest wait
+// and are then served from the cache as ordinary hits. A leader that
+// fails or is cancelled wakes its waiters without publishing a result;
+// each waiter then retakes the flight, so one tenant disconnecting
+// mid-simulation never loses another tenant's identical job.
 func (r *Runner) runOne(ctx context.Context, i int, j Job, cores int, emit func(Event)) Result {
 	if j.Opts.Cores == 0 {
 		j.Opts.Cores = cores
@@ -350,15 +417,50 @@ func (r *Runner) runOne(ctx context.Context, i int, j Job, cores int, emit func(
 		j.Opts.Metrics = &metrics.Config{Sink: r.Metrics, Every: r.MetricsEvery, Label: j.Label}
 	}
 	emit(Event{Kind: JobStarted, Index: i, Label: j.Label})
+	cached := func(st *stats.Stats) Result {
+		emit(Event{Kind: JobDone, Index: i, Label: j.Label, Cached: true, Cycles: st.Cycles})
+		return Result{Job: j, Stats: st, Cached: true}
+	}
 	key := ""
 	if r.Cache != nil {
-		if key = j.Key(); key != "" {
-			if st, ok := r.Cache.Get(key); ok {
-				emit(Event{Kind: JobDone, Index: i, Label: j.Label, Cached: true, Cycles: st.Cycles})
-				return Result{Job: j, Stats: st, Cached: true}
+		key = j.Key()
+	}
+	if key != "" {
+		for {
+			st, leader, wait := r.Cache.beginFlight(key)
+			if st != nil {
+				return cached(st)
+			}
+			if leader {
+				break
+			}
+			select {
+			case <-wait:
+				// The leader finished (or failed); re-check the cache
+				// and, on a miss, contend for the flight ourselves.
+			case <-ctx.Done():
+				err := ctx.Err()
+				emit(Event{Kind: JobDone, Index: i, Label: j.Label, Err: err})
+				return Result{Job: j, Err: err}
 			}
 		}
+		defer r.Cache.finishFlight(key)
+		// Flight leadership covers only the in-memory tier; an earlier
+		// process may have persisted this point, so consult the disk
+		// tier before simulating.
+		if st, ok := r.Cache.Get(key); ok {
+			return cached(st)
+		}
 	}
+	// The slot gate bounds simulations in flight across overlapping Run
+	// calls. Within a single Run the worker pool is never wider than
+	// the budget, so this acquisition only ever blocks when several
+	// batches share the Runner.
+	if err := r.acquireSlot(ctx); err != nil {
+		emit(Event{Kind: JobDone, Index: i, Label: j.Label, Err: err})
+		return Result{Job: j, Err: err}
+	}
+	defer r.releaseSlot()
 	start := time.Now()
 	var (
 		st       *stats.Stats
